@@ -1,0 +1,360 @@
+package repro
+
+// bench_test.go regenerates every table and figure of EXPERIMENTS.md (one
+// benchmark per experiment ID, plus the ablations and micro-benchmarks of
+// the secure substrate). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark prints its table/figure once (first iteration)
+// and reports domain metrics via b.ReportMetric so shape comparisons are
+// visible directly in the benchmark output.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/pki"
+	"repro/internal/rng"
+	"repro/internal/secureboot"
+	"repro/internal/sotif"
+	"repro/internal/worksite"
+)
+
+const benchSeed = 42
+
+var printOnce sync.Map
+
+func printTableOnce(key, rendered string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Printf("\n%s\n", rendered)
+	}
+}
+
+// BenchmarkE1_WorksiteBaseline — Fig. 1: the partially autonomous worksite
+// operates productively and safely under both profiles.
+func BenchmarkE1_WorksiteBaseline(b *testing.B) {
+	var logs, unsafe int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E1WorksiteBaseline(benchSeed, 20*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logs = res.Secured.Metrics.LogsDelivered
+		unsafe = res.Secured.Metrics.UnsafeEpisodes
+		printTableOnce("e1", res.Table.Render())
+	}
+	b.ReportMetric(float64(logs), "logs/run")
+	b.ReportMetric(float64(unsafe), "unsafe-episodes/run")
+}
+
+// BenchmarkE2_DronePOVDetection — Fig. 2: the drone's additional point of
+// view removes occlusion-caused misses across the occlusion sweep.
+func BenchmarkE2_DronePOVDetection(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.E2DronePOV(benchSeed, 60)
+		last := res.Points[len(res.Points)-1]
+		gap = last.MissFwOnly - last.MissWithDrone
+		printTableOnce("e2", res.Figure.Render())
+	}
+	b.ReportMetric(gap, "miss-rate-reduction@0.4")
+}
+
+// BenchmarkE2a_FusionPolicy — ablation: confirmation threshold K.
+func BenchmarkE2a_FusionPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printTableOnce("e2a", experiments.E2aFusionPolicy(benchSeed, 40).Render())
+	}
+}
+
+// BenchmarkE3_CharacteristicTable — Table I regenerated from the risk
+// catalog with model coverage.
+func BenchmarkE3_CharacteristicTable(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		t := experiments.E3CharacteristicTable()
+		rows = t.Rows()
+		printTableOnce("e3", t.Render())
+	}
+	b.ReportMetric(float64(rows), "characteristics")
+}
+
+// BenchmarkE4_KnowledgeTransfer — Fig. 3: mining + automotive + forestry
+// scenarios cover all Table-I characteristics.
+func BenchmarkE4_KnowledgeTransfer(b *testing.B) {
+	var covered float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.E4KnowledgeTransfer()
+		if res.Transfer.FullyCovered {
+			covered = 1
+		}
+		printTableOnce("e4", res.Table.Render())
+	}
+	b.ReportMetric(covered, "tableI-fully-covered")
+}
+
+// BenchmarkE5_AttackSafetyInterplay — attack × defence matrix (Sections
+// III-B, IV-C).
+func BenchmarkE5_AttackSafetyInterplay(b *testing.B) {
+	var injUnsecured, injSecured float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E5AttackMatrix(benchSeed, 10*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Attack == "command-injection" {
+				if row.Profile == "unsecured" {
+					injUnsecured = float64(row.Report.Metrics.CommandsApplied)
+				} else {
+					injSecured = float64(row.Report.Metrics.CommandsApplied)
+				}
+			}
+		}
+		printTableOnce("e5", res.Table.Render())
+	}
+	b.ReportMetric(injUnsecured, "forged-cmds-applied-unsecured")
+	b.ReportMetric(injSecured, "forged-cmds-applied-secured")
+}
+
+// BenchmarkE5b_ChannelAgility — ablation: narrowband jamming vs the
+// channel-agility response.
+func BenchmarkE5b_ChannelAgility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E5bChannelAgility(benchSeed, 10*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTableOnce("e5b", t.Render())
+	}
+}
+
+// BenchmarkE5a_IDSLatency — ablation: IDS detection latency for the de-auth
+// flood.
+func BenchmarkE5a_IDSLatency(b *testing.B) {
+	var lat time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E5aIDSLatencyRun(benchSeed, 8*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat = res.DetectionLatency
+		printTableOnce("e5a", res.Table.Render())
+	}
+	b.ReportMetric(lat.Seconds(), "detection-latency-s")
+}
+
+// BenchmarkE6_CombinedRiskAssessment — TARA + interplay, before/after
+// treatment (IEC TS 63074).
+func BenchmarkE6_CombinedRiskAssessment(b *testing.B) {
+	var meets float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E6CombinedRisk()
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for _, r := range res.InterAfter {
+			if r.MeetsRequired {
+				n++
+			}
+		}
+		meets = float64(n)
+		printTableOnce("e6-register", res.Register.Render())
+		printTableOnce("e6-interplay", res.Interplay.Render())
+	}
+	b.ReportMetric(meets, "functions-meeting-PLr-treated")
+}
+
+// BenchmarkE7_AssuranceCase — Section V: secured pathway yields a supported
+// SAC and a CE-ready verdict; the unsecured baseline does not.
+func BenchmarkE7_AssuranceCase(b *testing.B) {
+	var secScore, unsScore float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E7Assurance(benchSeed, 10*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		secScore = res.Secured.SACEval.Score
+		unsScore = res.Unsecured.SACEval.Score
+		printTableOnce("e7", res.Table.Render())
+	}
+	b.ReportMetric(secScore, "sac-score-secured")
+	b.ReportMetric(unsScore, "sac-score-unsecured")
+}
+
+// BenchmarkE8_SimulationValidity — Section III-D: validity metrics
+// discriminate representative from unrepresentative synthetic data.
+func BenchmarkE8_SimulationValidity(b *testing.B) {
+	var discriminated float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E8SimValidity(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ok := true
+		for _, r := range res.Results {
+			if (r.Name == "matched") != r.Valid {
+				ok = false
+			}
+		}
+		if ok {
+			discriminated = 1
+		}
+		printTableOnce("e8", res.Table.Render())
+	}
+	b.ReportMetric(discriminated, "metrics-discriminate")
+}
+
+// BenchmarkE9_SecureSubstrate — secure-channel throughput and boot-chain
+// tamper sweep.
+func BenchmarkE9_SecureSubstrate(b *testing.B) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E9SecureSubstrate(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = res.RecordsPerSec
+		printTableOnce("e9", res.TamperTable.Render())
+	}
+	b.ReportMetric(rate, "records/s")
+}
+
+// BenchmarkE10_SOTIFExploration — ISO 21448 unknown-space discovery: the
+// drone shrinks the unknown-unsafe area.
+func BenchmarkE10_SOTIFExploration(b *testing.B) {
+	var moved float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.E10SOTIFExploration(benchSeed, 12, 25)
+		moved = float64(res.Improvement.Moved)
+		printTableOnce("e10", res.Table.Render())
+	}
+	b.ReportMetric(moved, "scenarios-made-safe-by-drone")
+}
+
+// BenchmarkE9a_RekeySweep — ablation: rekey interval vs throughput.
+func BenchmarkE9a_RekeySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E9aRekeySweep(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTableOnce("e9a", t.Render())
+	}
+}
+
+// --- micro-benchmarks of the secure substrate ---
+
+// BenchmarkHandshake measures the full 3-message SIGMA handshake.
+func BenchmarkHandshake(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.NewChannelPair(benchSeed, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSealOpen256 measures one sealed+opened 256-byte record.
+func BenchmarkSealOpen256(b *testing.B) {
+	init, resp, err := experiments.NewChannelPair(benchSeed, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := init.Seal(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := resp.Open(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerifiedBoot measures a full three-stage verified boot.
+func BenchmarkVerifiedBoot(b *testing.B) {
+	r := rng.New(benchSeed)
+	ca, err := pki.NewCA("bench-vendor", r.Derive("ca"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	vendor, err := ca.Issue("signing", pki.RoleOperator, 0, 24*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var chain secureboot.Chain
+	for _, im := range []secureboot.Image{
+		{Name: "bl", Version: 1, Content: make([]byte, 4096)},
+		{Name: "rtos", Version: 1, Content: make([]byte, 65536)},
+		{Name: "app", Version: 1, Content: make([]byte, 262144)},
+	} {
+		chain.Stages = append(chain.Stages, secureboot.Stage{Image: im, Manifest: secureboot.SignManifest(vendor, im)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev := secureboot.NewDevice(vendor.Cert)
+		if _, err := dev.Boot(chain); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorksiteMinute measures one simulated minute of the full secured
+// worksite (scheduler, radio, sensors, fusion, safety, secure channels).
+func BenchmarkWorksiteMinute(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := worksite.DefaultConfig(benchSeed)
+		cfg.Profile = worksite.Secured()
+		site, err := worksite.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := site.Run(time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectionTrial measures one people-detection trial of the E2
+// evaluator.
+func BenchmarkDetectionTrial(b *testing.B) {
+	sc := sotif.Scenario{ID: "bench", OcclusionDensity: 0.25}
+	for i := 0; i < b.N; i++ {
+		core.DetectionMissRate(benchSeed, sc, true, 1)
+	}
+}
+
+// BenchmarkRiskAssessment measures the full TARA over the use-case model.
+func BenchmarkRiskAssessment(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E6CombinedRisk(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPathway measures the complete certification-pathway pipeline with
+// a short evidence run.
+func BenchmarkPathway(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := core.RunPathway(core.PathwayOptions{
+			Seed: benchSeed, Secured: true,
+			EvidenceRun: 5 * time.Minute, SOTIFTrials: 20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command ce-check runs the full certification pathway and prints the CE
+// conformity gap analysis against the standards registry: which essential
+// requirements are discharged by produced evidence, which remain open, and
+// whether the pathway is CE-ready.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/standards"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ce-check:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed      = flag.Int64("seed", 42, "experiment seed")
+		unsecured = flag.Bool("unsecured", false, "evaluate the unsecured baseline pathway")
+		evidence  = flag.Duration("evidence-run", 10*time.Minute, "attack-campaign evidence run length")
+	)
+	flag.Parse()
+
+	res, err := core.RunPathway(core.PathwayOptions{
+		Seed:        *seed,
+		Secured:     !*unsecured,
+		EvidenceRun: *evidence,
+	})
+	if err != nil {
+		return err
+	}
+
+	reg := report.NewTable("Standards & regulations registry (paper Sections I-II, IV-D)",
+		"id", "kind", "status", "harmonized", "topic")
+	for _, e := range standards.Registry() {
+		reg.AddRow(e.ID, e.Kind.String(), e.Status.String(), e.Harmonized, e.Topic)
+	}
+	fmt.Print(reg.Render())
+	fmt.Println()
+
+	t := report.NewTable("CE conformity gap analysis",
+		"requirement", "standard", "mandatory", "covered", "matched_by / missing")
+	for _, st := range res.Conformity.Statuses {
+		detail := strings.Join(st.MatchedBy, ", ")
+		if !st.Covered {
+			detail = "missing: " + strings.Join(st.Missing, ", ")
+		}
+		t.AddRow(st.Requirement.ID, st.Requirement.StandardID,
+			st.Requirement.Mandatory, st.Covered, detail)
+	}
+	fmt.Print(t.Render())
+	fmt.Println()
+	fmt.Printf("Mandatory: %d/%d covered; advisory: %d/%d; readiness %.0f%%; CE-ready: %v\n",
+		res.Conformity.MandatoryCovered, res.Conformity.MandatoryTotal,
+		res.Conformity.AdvisoryCovered, res.Conformity.AdvisoryTotal,
+		100*res.Conformity.Readiness, res.Conformity.Ready)
+	return nil
+}

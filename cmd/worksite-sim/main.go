@@ -1,0 +1,147 @@
+// Command worksite-sim runs the Fig. 1 forestry worksite simulation: an
+// autonomous forwarder hauling logs between the harvest site and the landing
+// area, observed by a drone, optionally under attack and optionally hardened
+// with the full security stack.
+//
+// Usage:
+//
+//	worksite-sim [-seed N] [-duration 30m] [-secured] [-attack NAME] [-json]
+//
+// Attack names: none, rf-jamming, deauth-flood, gnss-spoof, gnss-jam,
+// camera-blind, command-injection.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/geo"
+	"repro/internal/report"
+	"repro/internal/worksite"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "worksite-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed     = flag.Int64("seed", 42, "experiment seed")
+		duration = flag.Duration("duration", 30*time.Minute, "simulated duration")
+		secured  = flag.Bool("secured", false, "enable the full security stack")
+		attackNm = flag.String("attack", "none", "attack to run (none|rf-jamming|deauth-flood|gnss-spoof|gnss-jam|camera-blind|command-injection)")
+		asJSON   = flag.Bool("json", false, "emit the report as JSON")
+		showMap  = flag.Bool("map", false, "print the ASCII worksite map before and after the run")
+		timeline = flag.Int("timeline", 0, "print up to N operational timeline events after the run")
+	)
+	flag.Parse()
+
+	cfg := worksite.DefaultConfig(*seed)
+	if *secured {
+		cfg.Profile = worksite.Secured()
+	}
+	site, err := worksite.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := armAttack(site, *attackNm, *duration); err != nil {
+		return err
+	}
+	if *showMap {
+		fmt.Print(site.RenderMap(100))
+		fmt.Println()
+	}
+	rep, err := site.Run(*duration)
+	if err != nil {
+		return err
+	}
+	if *showMap {
+		fmt.Print(site.RenderMap(100))
+		fmt.Println()
+	}
+	if *timeline > 0 {
+		fmt.Print(site.RenderTimeline(*timeline))
+		fmt.Println()
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	printReport(rep, *attackNm, *secured)
+	return nil
+}
+
+func armAttack(site *worksite.Site, name string, d time.Duration) error {
+	if name == "none" {
+		return nil
+	}
+	start, stop := d/10, d*8/10
+	c := attack.NewCampaign()
+	switch name {
+	case "rf-jamming":
+		mid := geo.V(0.5*site.Grid().Width(), 0.5*site.Grid().Height())
+		c.Add(start, stop, attack.NewJamming(site.Medium(), "jam", mid, 1, 38, true))
+	case "deauth-flood":
+		c.Add(start, stop, attack.NewDeauthFlood(
+			site.AttackerAdapter(), worksite.NodeForwarder, worksite.NodeCoordinator, 200*time.Millisecond))
+	case "gnss-spoof":
+		c.Add(start, stop, attack.NewGNSSSpoof(site.ForwarderGNSS(), geo.V(60, 40)))
+	case "gnss-jam":
+		c.Add(start, stop, attack.NewGNSSJam(site.ForwarderGNSS()))
+	case "camera-blind":
+		c.Add(start, stop, attack.NewCameraBlind("camera-blind", func(b bool) {
+			site.ForwarderCamera().Blinded = b
+		}))
+	case "command-injection":
+		c.Add(start, stop, attack.NewCommandInjection(
+			site.AttackerAdapter(), worksite.NodeCoordinator, worksite.NodeForwarder,
+			func() []byte {
+				return []byte(`{"type":"command","from":"coordinator","command":"clear-stops"}`)
+			}, time.Second))
+	default:
+		return fmt.Errorf("unknown attack %q", name)
+	}
+	c.Schedule(site.Scheduler())
+	return nil
+}
+
+func printReport(rep worksite.Report, attackNm string, secured bool) {
+	profile := "unsecured"
+	if secured {
+		profile = "secured"
+	}
+	m := rep.Metrics
+	t := report.NewTable(
+		fmt.Sprintf("Worksite run: %v simulated, profile=%s, attack=%s", rep.Duration, profile, attackNm),
+		"metric", "value")
+	t.AddRow("logs delivered", m.LogsDelivered)
+	t.AddRow("empty deliveries", m.EmptyDeliveries)
+	t.AddRow("distance (m)", m.DistanceM)
+	t.AddRow("safety stops", m.SafetyStops)
+	t.AddRow("time stopped", m.StoppedFor.String())
+	t.AddRow("unsafe episodes", m.UnsafeEpisodes)
+	t.AddRow("collisions", m.Collisions)
+	t.AddRow("min worker distance (m)", m.MinWorkerDistM)
+	t.AddRow("nav error max (m)", m.NavErrMaxM)
+	t.AddRow("forged commands applied", m.CommandsApplied)
+	t.AddRow("forgeries blocked", m.ForgeriesBlocked)
+	t.AddRow("replays blocked", m.ReplaysBlocked)
+	fmt.Print(t.Render())
+
+	if len(rep.Alerts) > 0 {
+		at := report.NewTable("IDS alerts", "type", "count")
+		for k, v := range rep.Alerts {
+			at.AddRow(k, v)
+		}
+		fmt.Println()
+		fmt.Print(at.Render())
+	}
+}

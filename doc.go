@@ -1,0 +1,13 @@
+// Package repro reproduces "Cybersecurity Pathways Towards CE-Certified
+// Autonomous Forestry Machines" (Mohamad et al., DSN 2024) as a complete Go
+// library: a simulated partially-autonomous forestry worksite (autonomous
+// forwarder, observation drone, manual harvester) with the full
+// cybersecurity stack the paper's certification pathway requires, the
+// combined safety–security risk-assessment methodology it proposes, and the
+// assurance-case and CE-conformity machinery it argues for.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmark harness in bench_test.go regenerates every table
+// and figure.
+package repro

@@ -1,0 +1,408 @@
+// Package assurance implements security assurance cases (SACs) as Section V
+// of the paper describes: structured bodies of argument and evidence in Goal
+// Structuring Notation (GSN) with a Claim-Argument-Evidence (CAE) rendering,
+// organised as modules per concern (safety, cybersecurity, AI) so that
+// "compliance requirements necessitate the separation of concerns ... which
+// calls for creating and adopting a modular approach".
+//
+// A Case is a typed directed acyclic graph of goals, strategies, solutions,
+// contexts, assumptions and justifications. Solutions bind to Evidence items
+// produced elsewhere in the repository (risk registers, interplay analyses,
+// IDS logs, simulation reports); evaluation propagates evidence status up the
+// argument and yields a completeness score the CE pathway tracks.
+package assurance
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeKind types a GSN element.
+type NodeKind int
+
+// GSN node kinds.
+const (
+	KindGoal NodeKind = iota + 1
+	KindStrategy
+	KindSolution
+	KindContext
+	KindAssumption
+	KindJustification
+)
+
+// String returns the GSN element name.
+func (k NodeKind) String() string {
+	switch k {
+	case KindGoal:
+		return "Goal"
+	case KindStrategy:
+		return "Strategy"
+	case KindSolution:
+		return "Solution"
+	case KindContext:
+		return "Context"
+	case KindAssumption:
+		return "Assumption"
+	case KindJustification:
+		return "Justification"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Errors matchable with errors.Is.
+var (
+	ErrDuplicateNode = errors.New("node already exists")
+	ErrUnknownNode   = errors.New("unknown node")
+	ErrBadStructure  = errors.New("invalid GSN structure")
+	ErrCycle         = errors.New("support edge would create a cycle")
+)
+
+// Node is one GSN element.
+type Node struct {
+	ID        string   `json:"id"`
+	Kind      NodeKind `json:"kind"`
+	Statement string   `json:"statement"`
+	// Undeveloped marks goals intentionally left open (GSN diamond).
+	Undeveloped bool `json:"undeveloped,omitempty"`
+	// Module tags the node's concern module (safety/security/ai/...).
+	Module string `json:"module,omitempty"`
+}
+
+// Evidence is an artefact bound to a solution.
+type Evidence struct {
+	ID          string `json:"id"`
+	Description string `json:"description"`
+	Source      string `json:"source"` // producing module or file
+	OK          bool   `json:"ok"`     // whether the artefact supports the claim
+}
+
+// Case is a GSN assurance case.
+type Case struct {
+	id        string
+	nodes     map[string]*Node
+	supported map[string][]string // parent -> supporting children (goals/strategies/solutions)
+	inContext map[string][]string // parent -> context/assumption/justification
+	evidence  map[string][]Evidence
+	order     []string // insertion order for deterministic rendering
+}
+
+// NewCase creates a case with a top-level goal.
+func NewCase(id, topGoalID, statement string) (*Case, error) {
+	c := &Case{
+		id:        id,
+		nodes:     make(map[string]*Node),
+		supported: make(map[string][]string),
+		inContext: make(map[string][]string),
+		evidence:  make(map[string][]Evidence),
+	}
+	if err := c.AddNode(Node{ID: topGoalID, Kind: KindGoal, Statement: statement}); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// TopGoal returns the case's root goal ID.
+func (c *Case) TopGoal() string {
+	if len(c.order) == 0 {
+		return ""
+	}
+	return c.order[0]
+}
+
+// AddNode inserts a node.
+func (c *Case) AddNode(n Node) error {
+	if n.ID == "" {
+		return fmt.Errorf("%w: empty node ID", ErrBadStructure)
+	}
+	if _, ok := c.nodes[n.ID]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateNode, n.ID)
+	}
+	node := n
+	c.nodes[n.ID] = &node
+	c.order = append(c.order, n.ID)
+	return nil
+}
+
+// Node returns a node by ID.
+func (c *Case) Node(id string) (Node, bool) {
+	n, ok := c.nodes[id]
+	if !ok {
+		return Node{}, false
+	}
+	return *n, true
+}
+
+// Support adds a supportedBy edge parent -> child, enforcing GSN structure:
+// goals are supported by strategies, solutions or sub-goals; strategies by
+// goals or solutions; solutions support nothing.
+func (c *Case) Support(parentID, childID string) error {
+	parent, ok := c.nodes[parentID]
+	if !ok {
+		return fmt.Errorf("%w: parent %q", ErrUnknownNode, parentID)
+	}
+	child, ok := c.nodes[childID]
+	if !ok {
+		return fmt.Errorf("%w: child %q", ErrUnknownNode, childID)
+	}
+	switch parent.Kind {
+	case KindGoal:
+		if child.Kind != KindStrategy && child.Kind != KindSolution && child.Kind != KindGoal {
+			return fmt.Errorf("%w: goal supported by %s", ErrBadStructure, child.Kind)
+		}
+	case KindStrategy:
+		if child.Kind != KindGoal && child.Kind != KindSolution {
+			return fmt.Errorf("%w: strategy supported by %s", ErrBadStructure, child.Kind)
+		}
+	default:
+		return fmt.Errorf("%w: %s cannot be supported", ErrBadStructure, parent.Kind)
+	}
+	if c.reaches(childID, parentID) {
+		return fmt.Errorf("%w: %s -> %s", ErrCycle, parentID, childID)
+	}
+	c.supported[parentID] = append(c.supported[parentID], childID)
+	return nil
+}
+
+// InContextOf attaches a context, assumption or justification to a goal or
+// strategy.
+func (c *Case) InContextOf(parentID, ctxID string) error {
+	parent, ok := c.nodes[parentID]
+	if !ok {
+		return fmt.Errorf("%w: parent %q", ErrUnknownNode, parentID)
+	}
+	ctx, ok := c.nodes[ctxID]
+	if !ok {
+		return fmt.Errorf("%w: context %q", ErrUnknownNode, ctxID)
+	}
+	if parent.Kind != KindGoal && parent.Kind != KindStrategy {
+		return fmt.Errorf("%w: context on %s", ErrBadStructure, parent.Kind)
+	}
+	if ctx.Kind != KindContext && ctx.Kind != KindAssumption && ctx.Kind != KindJustification {
+		return fmt.Errorf("%w: %s used as context", ErrBadStructure, ctx.Kind)
+	}
+	c.inContext[parentID] = append(c.inContext[parentID], ctxID)
+	return nil
+}
+
+// Bind attaches evidence to a solution.
+func (c *Case) Bind(solutionID string, ev Evidence) error {
+	n, ok := c.nodes[solutionID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, solutionID)
+	}
+	if n.Kind != KindSolution {
+		return fmt.Errorf("%w: evidence bound to %s", ErrBadStructure, n.Kind)
+	}
+	c.evidence[solutionID] = append(c.evidence[solutionID], ev)
+	return nil
+}
+
+// reaches reports whether `to` is reachable from `from` via support edges.
+func (c *Case) reaches(from, to string) bool {
+	if from == to {
+		return true
+	}
+	for _, next := range c.supported[from] {
+		if c.reaches(next, to) {
+			return true
+		}
+	}
+	return false
+}
+
+// Evaluation is the result of propagating evidence through the argument.
+type Evaluation struct {
+	Supported bool `json:"supported"` // is the top goal supported?
+	// Score is the fraction of solutions with valid evidence.
+	Score float64 `json:"score"`
+	// Solutions / SupportedSolutions count the evidence leaves.
+	Solutions          int `json:"solutions"`
+	SupportedSolutions int `json:"supportedSolutions"`
+	// Undeveloped lists goals flagged or left without support.
+	Undeveloped []string `json:"undeveloped,omitempty"`
+	// Unsupported lists node IDs that fail to propagate support.
+	Unsupported []string `json:"unsupported,omitempty"`
+}
+
+// Evaluate propagates evidence: a solution is supported iff it has at least
+// one OK evidence item and no failed item; a goal/strategy is supported iff
+// it has children and all are supported; an Undeveloped goal counts as
+// unsupported but is reported separately.
+func (c *Case) Evaluate() Evaluation {
+	var ev Evaluation
+	memo := make(map[string]bool, len(c.nodes))
+	var visit func(id string) bool
+	visit = func(id string) bool {
+		if v, ok := memo[id]; ok {
+			return v
+		}
+		n := c.nodes[id]
+		var ok bool
+		switch n.Kind {
+		case KindSolution:
+			items := c.evidence[id]
+			ok = len(items) > 0
+			for _, it := range items {
+				if !it.OK {
+					ok = false
+					break
+				}
+			}
+		case KindGoal, KindStrategy:
+			if n.Undeveloped {
+				ok = false
+				break
+			}
+			children := c.supported[id]
+			ok = len(children) > 0
+			for _, ch := range children {
+				if !visit(ch) {
+					ok = false
+				}
+			}
+		default:
+			ok = true // contexts don't gate support
+		}
+		memo[id] = ok
+		return ok
+	}
+
+	for _, id := range c.order {
+		n := c.nodes[id]
+		supported := visit(id)
+		switch n.Kind {
+		case KindSolution:
+			ev.Solutions++
+			if supported {
+				ev.SupportedSolutions++
+			}
+		case KindGoal:
+			if n.Undeveloped || (len(c.supported[id]) == 0) {
+				ev.Undeveloped = append(ev.Undeveloped, id)
+			}
+		}
+		if !supported && (n.Kind == KindGoal || n.Kind == KindStrategy || n.Kind == KindSolution) {
+			ev.Unsupported = append(ev.Unsupported, id)
+		}
+	}
+	if ev.Solutions > 0 {
+		ev.Score = float64(ev.SupportedSolutions) / float64(ev.Solutions)
+	}
+	ev.Supported = memo[c.TopGoal()]
+	sort.Strings(ev.Undeveloped)
+	sort.Strings(ev.Unsupported)
+	return ev
+}
+
+// RenderGSN returns a deterministic ASCII tree of the argument.
+func (c *Case) RenderGSN() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Assurance case %s\n", c.id)
+	seen := make(map[string]bool)
+	var walk func(id, indent string)
+	walk = func(id, indent string) {
+		n := c.nodes[id]
+		marker := ""
+		if n.Undeveloped {
+			marker = " <undeveloped>"
+		}
+		fmt.Fprintf(&b, "%s[%s] %s: %s%s\n", indent, shortKind(n.Kind), n.ID, n.Statement, marker)
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		for _, ctx := range c.inContext[id] {
+			cn := c.nodes[ctx]
+			fmt.Fprintf(&b, "%s  (%s %s: %s)\n", indent, shortKind(cn.Kind), cn.ID, cn.Statement)
+		}
+		for _, ev := range c.evidence[id] {
+			status := "OK"
+			if !ev.OK {
+				status = "FAILED"
+			}
+			fmt.Fprintf(&b, "%s  * evidence %s [%s] %s\n", indent, ev.ID, status, ev.Description)
+		}
+		for _, ch := range c.supported[id] {
+			walk(ch, indent+"  ")
+		}
+	}
+	walk(c.TopGoal(), "")
+	return b.String()
+}
+
+// RenderCAE renders the claim-argument-evidence view.
+func (c *Case) RenderCAE() string {
+	var b strings.Builder
+	var walk func(id string, depth int)
+	walk = func(id string, depth int) {
+		n := c.nodes[id]
+		pad := strings.Repeat("  ", depth)
+		switch n.Kind {
+		case KindGoal:
+			fmt.Fprintf(&b, "%sClaim %s: %s\n", pad, n.ID, n.Statement)
+		case KindStrategy:
+			fmt.Fprintf(&b, "%sArgument %s: %s\n", pad, n.ID, n.Statement)
+		case KindSolution:
+			fmt.Fprintf(&b, "%sEvidence %s: %s\n", pad, n.ID, n.Statement)
+			for _, ev := range c.evidence[id] {
+				fmt.Fprintf(&b, "%s  - %s (%s, ok=%v)\n", pad, ev.ID, ev.Source, ev.OK)
+			}
+		}
+		for _, ch := range c.supported[id] {
+			walk(ch, depth+1)
+		}
+	}
+	walk(c.TopGoal(), 0)
+	return b.String()
+}
+
+func shortKind(k NodeKind) string {
+	switch k {
+	case KindGoal:
+		return "G"
+	case KindStrategy:
+		return "S"
+	case KindSolution:
+		return "Sn"
+	case KindContext:
+		return "C"
+	case KindAssumption:
+		return "A"
+	case KindJustification:
+		return "J"
+	default:
+		return "?"
+	}
+}
+
+// Modules returns the distinct module tags in the case, sorted — the
+// "separation of concerns" index of Section V.
+func (c *Case) Modules() []string {
+	set := make(map[string]bool)
+	for _, id := range c.order {
+		if m := c.nodes[id].Module; m != "" {
+			set[m] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodesByModule returns the node IDs tagged with the given module, in
+// insertion order.
+func (c *Case) NodesByModule(module string) []string {
+	var out []string
+	for _, id := range c.order {
+		if c.nodes[id].Module == module {
+			out = append(out, id)
+		}
+	}
+	return out
+}

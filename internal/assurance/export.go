@@ -1,0 +1,161 @@
+package assurance
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Export is the interchange form of an assurance case: nodes, edges and
+// evidence in a stable, tool-consumable JSON layout (the usage scenarios of
+// Mohamad et al. [35] — assessment, decision support, litigation — all need
+// the case out of the building tool).
+type Export struct {
+	ID       string        `json:"id"`
+	TopGoal  string        `json:"topGoal"`
+	Nodes    []Node        `json:"nodes"`
+	Edges    []ExportEdge  `json:"edges"`
+	Evidence []ExportBound `json:"evidence"`
+}
+
+// ExportEdge is one relationship in the exported case.
+type ExportEdge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Kind string `json:"kind"` // supportedBy | inContextOf
+}
+
+// ExportBound ties evidence to its solution in the export.
+type ExportBound struct {
+	SolutionID string   `json:"solutionId"`
+	Evidence   Evidence `json:"evidence"`
+}
+
+// Export serialises the case structure.
+func (c *Case) Export() Export {
+	out := Export{ID: c.id, TopGoal: c.TopGoal()}
+	for _, id := range c.order {
+		out.Nodes = append(out.Nodes, *c.nodes[id])
+	}
+	for _, parent := range c.order {
+		for _, child := range c.supported[parent] {
+			out.Edges = append(out.Edges, ExportEdge{From: parent, To: child, Kind: "supportedBy"})
+		}
+		for _, ctx := range c.inContext[parent] {
+			out.Edges = append(out.Edges, ExportEdge{From: parent, To: ctx, Kind: "inContextOf"})
+		}
+	}
+	solutions := make([]string, 0, len(c.evidence))
+	for sol := range c.evidence {
+		solutions = append(solutions, sol)
+	}
+	sort.Strings(solutions)
+	for _, sol := range solutions {
+		for _, ev := range c.evidence[sol] {
+			out.Evidence = append(out.Evidence, ExportBound{SolutionID: sol, Evidence: ev})
+		}
+	}
+	return out
+}
+
+// MarshalJSON renders the export with stable field ordering.
+func (c *Case) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.Export())
+}
+
+// Import reconstructs a case from an export. The resulting case evaluates
+// and renders identically to the original.
+func Import(exp Export) (*Case, error) {
+	if len(exp.Nodes) == 0 {
+		return nil, fmt.Errorf("%w: export has no nodes", ErrBadStructure)
+	}
+	if exp.Nodes[0].ID != exp.TopGoal {
+		return nil, fmt.Errorf("%w: first node %q is not the top goal %q",
+			ErrBadStructure, exp.Nodes[0].ID, exp.TopGoal)
+	}
+	c, err := NewCase(exp.ID, exp.TopGoal, exp.Nodes[0].Statement)
+	if err != nil {
+		return nil, err
+	}
+	// Preserve top-goal flags.
+	c.nodes[exp.TopGoal].Undeveloped = exp.Nodes[0].Undeveloped
+	c.nodes[exp.TopGoal].Module = exp.Nodes[0].Module
+	for _, n := range exp.Nodes[1:] {
+		if err := c.AddNode(n); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range exp.Edges {
+		switch e.Kind {
+		case "supportedBy":
+			if err := c.Support(e.From, e.To); err != nil {
+				return nil, err
+			}
+		case "inContextOf":
+			if err := c.InContextOf(e.From, e.To); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown edge kind %q", ErrBadStructure, e.Kind)
+		}
+	}
+	for _, b := range exp.Evidence {
+		if err := c.Bind(b.SolutionID, b.Evidence); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// ParseExport decodes an exported case from JSON.
+func ParseExport(data []byte) (*Case, error) {
+	var exp Export
+	if err := json.Unmarshal(data, &exp); err != nil {
+		return nil, fmt.Errorf("parse assurance export: %w", err)
+	}
+	return Import(exp)
+}
+
+// EvaluationDiff captures what changed between two evaluations of the same
+// case — the continuous incremental assurance of Bloomfield & Rushby
+// ("Assurance 2.0", paper Section V): as new evidence arrives during
+// operations, only the delta needs review, not the whole case.
+type EvaluationDiff struct {
+	// NewlySupported lists nodes unsupported before and supported now.
+	NewlySupported []string `json:"newlySupported,omitempty"`
+	// NewlyUnsupported lists regressions: supported before, unsupported now.
+	NewlyUnsupported []string `json:"newlyUnsupported,omitempty"`
+	// ScoreDelta is after minus before.
+	ScoreDelta float64 `json:"scoreDelta"`
+	// TopGoalChanged reports a verdict flip on the top-level claim.
+	TopGoalChanged bool `json:"topGoalChanged"`
+}
+
+// DiffEvaluations compares two evaluations (typically of the same case
+// before and after new evidence was bound).
+func DiffEvaluations(before, after Evaluation) EvaluationDiff {
+	was := make(map[string]bool, len(before.Unsupported))
+	for _, id := range before.Unsupported {
+		was[id] = true
+	}
+	is := make(map[string]bool, len(after.Unsupported))
+	for _, id := range after.Unsupported {
+		is[id] = true
+	}
+	var diff EvaluationDiff
+	for id := range was {
+		if !is[id] {
+			diff.NewlySupported = append(diff.NewlySupported, id)
+		}
+	}
+	for id := range is {
+		if !was[id] {
+			diff.NewlyUnsupported = append(diff.NewlyUnsupported, id)
+		}
+	}
+	sort.Strings(diff.NewlySupported)
+	sort.Strings(diff.NewlyUnsupported)
+	diff.ScoreDelta = after.Score - before.Score
+	diff.TopGoalChanged = before.Supported != after.Supported
+	return diff
+}

@@ -1,0 +1,126 @@
+package assurance
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	c := buildSmallCase(t)
+	if err := c.Bind("Sn1", Evidence{ID: "E1", OK: true, Source: "tests"}); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if err := c.Bind("Sn2", Evidence{ID: "E2", OK: false, Source: "ids"}); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := ParseExport(data)
+	if err != nil {
+		t.Fatalf("ParseExport: %v", err)
+	}
+
+	if back.RenderGSN() != c.RenderGSN() {
+		t.Fatalf("GSN rendering changed across round trip:\n%s\nvs\n%s",
+			back.RenderGSN(), c.RenderGSN())
+	}
+	evA, evB := c.Evaluate(), back.Evaluate()
+	if evA.Supported != evB.Supported || evA.Score != evB.Score ||
+		evA.Solutions != evB.Solutions {
+		t.Fatalf("evaluation changed: %+v vs %+v", evA, evB)
+	}
+}
+
+func TestExportStructure(t *testing.T) {
+	c := buildSmallCase(t)
+	exp := c.Export()
+	if exp.TopGoal != "G1" {
+		t.Fatalf("top goal = %s", exp.TopGoal)
+	}
+	if len(exp.Nodes) != 7 {
+		t.Fatalf("nodes = %d, want 7", len(exp.Nodes))
+	}
+	support, context := 0, 0
+	for _, e := range exp.Edges {
+		switch e.Kind {
+		case "supportedBy":
+			support++
+		case "inContextOf":
+			context++
+		default:
+			t.Fatalf("unknown edge kind %q", e.Kind)
+		}
+	}
+	if support != 5 || context != 1 {
+		t.Fatalf("edges: support=%d context=%d", support, context)
+	}
+}
+
+func TestDiffEvaluationsIncrementalAssurance(t *testing.T) {
+	c := buildSmallCase(t)
+	_ = c.Bind("Sn1", Evidence{ID: "E1", OK: true})
+	before := c.Evaluate()
+
+	// New evidence arrives for the second solution.
+	_ = c.Bind("Sn2", Evidence{ID: "E2", OK: true})
+	after := c.Evaluate()
+
+	diff := DiffEvaluations(before, after)
+	if !diff.TopGoalChanged {
+		t.Fatal("top goal flip not detected")
+	}
+	if diff.ScoreDelta <= 0 {
+		t.Fatalf("score delta = %v, want positive", diff.ScoreDelta)
+	}
+	wantSupported := map[string]bool{"Sn2": true, "G3": true, "S1": true, "G1": true}
+	for _, id := range diff.NewlySupported {
+		if !wantSupported[id] {
+			t.Fatalf("unexpected newly supported node %s", id)
+		}
+	}
+	if len(diff.NewlySupported) != len(wantSupported) {
+		t.Fatalf("newly supported = %v", diff.NewlySupported)
+	}
+	if len(diff.NewlyUnsupported) != 0 {
+		t.Fatalf("regressions = %v", diff.NewlyUnsupported)
+	}
+}
+
+func TestDiffEvaluationsRegression(t *testing.T) {
+	c := buildSmallCase(t)
+	_ = c.Bind("Sn1", Evidence{ID: "E1", OK: true})
+	_ = c.Bind("Sn2", Evidence{ID: "E2", OK: true})
+	before := c.Evaluate()
+	// A failing re-test of E2's artefact regresses the case.
+	_ = c.Bind("Sn2", Evidence{ID: "E2-retest", OK: false})
+	after := c.Evaluate()
+	diff := DiffEvaluations(before, after)
+	if len(diff.NewlyUnsupported) == 0 || !diff.TopGoalChanged {
+		t.Fatalf("regression not detected: %+v", diff)
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	if _, err := ParseExport([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Import(Export{ID: "x"}); err == nil {
+		t.Fatal("empty export accepted")
+	}
+	if _, err := Import(Export{
+		ID: "x", TopGoal: "G1",
+		Nodes: []Node{{ID: "OTHER", Kind: KindGoal}},
+	}); err == nil {
+		t.Fatal("mismatched top goal accepted")
+	}
+	if _, err := Import(Export{
+		ID: "x", TopGoal: "G1",
+		Nodes: []Node{{ID: "G1", Kind: KindGoal}, {ID: "G2", Kind: KindGoal}},
+		Edges: []ExportEdge{{From: "G1", To: "G2", Kind: "mystery"}},
+	}); err == nil {
+		t.Fatal("unknown edge kind accepted")
+	}
+}

@@ -1,0 +1,416 @@
+// Package attack implements the adversary: the attack classes the paper's
+// survey enumerates for autonomous machinery over wireless links (Section
+// IV-C, after Gaber et al. and Ren et al.) packaged as schedulable campaign
+// phases against the simulated worksite.
+//
+// Implemented attacks: RF jamming (narrow and wideband), Wi-Fi de-auth
+// flooding, GNSS spoofing and jamming, camera blinding, record replay, and
+// command injection (MITM-style forged frames). A Campaign runs attacks over
+// timed windows on the simulation scheduler so that secured and unsecured
+// sites can be exposed to bit-identical adversary behaviour.
+package attack
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/netsim"
+	"repro/internal/radio"
+	"repro/internal/sensors"
+	"repro/internal/simclock"
+)
+
+// Attack is a campaign phase that can be switched on and off.
+type Attack interface {
+	// Name identifies the attack in logs and result tables.
+	Name() string
+	// Begin activates the attack.
+	Begin(s *simclock.Scheduler)
+	// End deactivates the attack.
+	End(s *simclock.Scheduler)
+}
+
+// Window is one scheduled activation of an attack.
+type Window struct {
+	Start  time.Duration
+	Stop   time.Duration
+	Attack Attack
+}
+
+// Campaign schedules attack windows onto a simulation.
+type Campaign struct {
+	windows []Window
+	log     []PhaseEvent
+}
+
+// PhaseEvent records an activation change, for experiment reports.
+type PhaseEvent struct {
+	At     time.Duration `json:"atNs"`
+	Attack string        `json:"attack"`
+	Active bool          `json:"active"`
+}
+
+// NewCampaign returns an empty campaign.
+func NewCampaign() *Campaign { return &Campaign{} }
+
+// Add appends an attack window. Stop <= Start means the attack never ends
+// once begun.
+func (c *Campaign) Add(start, stop time.Duration, a Attack) {
+	c.windows = append(c.windows, Window{Start: start, Stop: stop, Attack: a})
+}
+
+// Schedule installs all windows on the scheduler.
+func (c *Campaign) Schedule(s *simclock.Scheduler) {
+	ws := make([]Window, len(c.windows))
+	copy(ws, c.windows)
+	sort.SliceStable(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })
+	for _, w := range ws {
+		w := w
+		s.At(w.Start, func(sch *simclock.Scheduler) {
+			w.Attack.Begin(sch)
+			c.log = append(c.log, PhaseEvent{At: sch.Now(), Attack: w.Attack.Name(), Active: true})
+		})
+		if w.Stop > w.Start {
+			s.At(w.Stop, func(sch *simclock.Scheduler) {
+				w.Attack.End(sch)
+				c.log = append(c.log, PhaseEvent{At: sch.Now(), Attack: w.Attack.Name(), Active: false})
+			})
+		}
+	}
+}
+
+// Log returns a copy of the phase-change log.
+func (c *Campaign) Log() []PhaseEvent {
+	out := make([]PhaseEvent, len(c.log))
+	copy(out, c.log)
+	return out
+}
+
+// Windows returns a copy of the configured windows.
+func (c *Campaign) Windows() []Window {
+	out := make([]Window, len(c.windows))
+	copy(out, c.windows)
+	return out
+}
+
+// --- Jamming ---
+
+// Jamming raises the interference floor on the victim channel via a radio
+// jammer placed on the site.
+type Jamming struct {
+	medium *radio.Medium
+	jammer *radio.Jammer
+}
+
+// NewJamming creates a jammer at pos with the given power and registers it
+// (inactive) on the medium. wideband jams all channels.
+func NewJamming(medium *radio.Medium, id string, pos geo.Vec, channel int, powerDBm float64, wideband bool) *Jamming {
+	j := &radio.Jammer{
+		ID:       id,
+		Pos:      func() geo.Vec { return pos },
+		Channel:  channel,
+		Wideband: wideband,
+		PowerDBm: powerDBm,
+	}
+	medium.AddJammer(j)
+	return &Jamming{medium: medium, jammer: j}
+}
+
+var _ Attack = (*Jamming)(nil)
+
+// Name implements Attack.
+func (a *Jamming) Name() string { return "rf-jamming" }
+
+// Begin implements Attack.
+func (a *Jamming) Begin(*simclock.Scheduler) { a.jammer.Active = true }
+
+// End implements Attack.
+func (a *Jamming) End(*simclock.Scheduler) { a.jammer.Active = false }
+
+// --- De-auth flood ---
+
+// DeauthFlood forges de-authentication frames from a claimed source to a
+// victim at a fixed rate, the mining survey's disconnection attack.
+type DeauthFlood struct {
+	injector *netsim.Adapter
+	claimSrc radio.NodeID
+	victim   radio.NodeID
+	period   time.Duration
+	cancel   func()
+	injected int
+}
+
+// NewDeauthFlood creates a flood using the attacker's adapter, claiming
+// frames come from claimSrc, addressed to victim, one per period.
+func NewDeauthFlood(injector *netsim.Adapter, claimSrc, victim radio.NodeID, period time.Duration) *DeauthFlood {
+	return &DeauthFlood{injector: injector, claimSrc: claimSrc, victim: victim, period: period}
+}
+
+var _ Attack = (*DeauthFlood)(nil)
+
+// Name implements Attack.
+func (a *DeauthFlood) Name() string { return "deauth-flood" }
+
+// Begin implements Attack.
+func (a *DeauthFlood) Begin(s *simclock.Scheduler) {
+	a.cancel = s.Every(a.period, func(*simclock.Scheduler) {
+		a.injected++
+		// A real flooder scans for the victim's channel before transmitting.
+		a.injector.TuneTo(a.victim)
+		// Errors (e.g. attacker radio offline) end the attack silently; the
+		// adversary has no recourse.
+		_ = a.injector.InjectRaw(netsim.Frame{
+			Kind: netsim.FrameDeauth,
+			Src:  a.claimSrc,
+			Dst:  a.victim,
+		})
+	})
+}
+
+// End implements Attack.
+func (a *DeauthFlood) End(*simclock.Scheduler) {
+	if a.cancel != nil {
+		a.cancel()
+	}
+}
+
+// Injected returns the number of forged frames sent.
+func (a *DeauthFlood) Injected() int { return a.injected }
+
+// --- GNSS attacks ---
+
+// GNSSSpoof overpowers a machine's GNSS receiver with displaced fixes.
+type GNSSSpoof struct {
+	gnss   *sensors.GNSS
+	offset geo.Vec
+}
+
+// NewGNSSSpoof creates a spoofing attack displacing the victim receiver's
+// fixes by offset.
+func NewGNSSSpoof(gnss *sensors.GNSS, offset geo.Vec) *GNSSSpoof {
+	return &GNSSSpoof{gnss: gnss, offset: offset}
+}
+
+var _ Attack = (*GNSSSpoof)(nil)
+
+// Name implements Attack.
+func (a *GNSSSpoof) Name() string { return "gnss-spoof" }
+
+// Begin implements Attack.
+func (a *GNSSSpoof) Begin(*simclock.Scheduler) {
+	a.gnss.Mode = sensors.GNSSSpoofed
+	a.gnss.SpoofOffset = a.offset
+}
+
+// End implements Attack.
+func (a *GNSSSpoof) End(*simclock.Scheduler) { a.gnss.Mode = sensors.GNSSNominal }
+
+// GNSSJam denies a machine its position fix.
+type GNSSJam struct {
+	gnss *sensors.GNSS
+}
+
+// NewGNSSJam creates a GNSS jamming attack on the victim receiver.
+func NewGNSSJam(gnss *sensors.GNSS) *GNSSJam { return &GNSSJam{gnss: gnss} }
+
+var _ Attack = (*GNSSJam)(nil)
+
+// Name implements Attack.
+func (a *GNSSJam) Name() string { return "gnss-jam" }
+
+// Begin implements Attack.
+func (a *GNSSJam) Begin(*simclock.Scheduler) { a.gnss.Mode = sensors.GNSSJammed }
+
+// End implements Attack.
+func (a *GNSSJam) End(*simclock.Scheduler) { a.gnss.Mode = sensors.GNSSNominal }
+
+// --- Camera blinding ---
+
+// CameraBlind blinds a perception camera (laser/glare attack per Petit et
+// al.). The setter abstracts over ground and aerial cameras.
+type CameraBlind struct {
+	name string
+	set  func(bool)
+}
+
+// NewCameraBlind creates a blinding attack; set toggles the victim camera's
+// blinded state.
+func NewCameraBlind(name string, set func(bool)) *CameraBlind {
+	return &CameraBlind{name: name, set: set}
+}
+
+var _ Attack = (*CameraBlind)(nil)
+
+// Name implements Attack.
+func (a *CameraBlind) Name() string { return a.name }
+
+// Begin implements Attack.
+func (a *CameraBlind) Begin(*simclock.Scheduler) { a.set(true) }
+
+// End implements Attack.
+func (a *CameraBlind) End(*simclock.Scheduler) { a.set(false) }
+
+// --- Replay ---
+
+// Recorder passively captures data frames off the air (the medium's observer
+// port) for later replay. The adversary needs no keys: it replays ciphertext
+// verbatim, which succeeds against an unsecured stack and is rejected by the
+// secure channel's sequence window.
+type Recorder struct {
+	// FilterSrc/FilterDst restrict capture to one flow when non-empty.
+	FilterSrc radio.NodeID
+	FilterDst radio.NodeID
+	frames    []netsim.Frame
+}
+
+// Tap is installed as (or chained into) the radio medium's Observer.
+func (r *Recorder) Tap(p radio.Packet, _ radio.NodeID, _ float64, cause radio.DropCause) {
+	if cause != radio.DropNone {
+		return
+	}
+	f, ok := p.Payload.(netsim.Frame)
+	if !ok || f.Kind != netsim.FrameData {
+		return
+	}
+	if r.FilterSrc != "" && f.Src != r.FilterSrc {
+		return
+	}
+	if r.FilterDst != "" && f.Dst != r.FilterDst {
+		return
+	}
+	r.frames = append(r.frames, f)
+}
+
+// Captured returns the number of recorded frames.
+func (r *Recorder) Captured() int { return len(r.frames) }
+
+// Replay re-injects previously captured frames at a fixed rate, cycling
+// through the capture buffer.
+type Replay struct {
+	injector *netsim.Adapter
+	rec      *Recorder
+	period   time.Duration
+	next     int
+	injected int
+	cancel   func()
+}
+
+// NewReplay creates a replay attack fed by rec.
+func NewReplay(injector *netsim.Adapter, rec *Recorder, period time.Duration) *Replay {
+	return &Replay{injector: injector, rec: rec, period: period}
+}
+
+var _ Attack = (*Replay)(nil)
+
+// Name implements Attack.
+func (a *Replay) Name() string { return "replay" }
+
+// Begin implements Attack.
+func (a *Replay) Begin(s *simclock.Scheduler) {
+	a.cancel = s.Every(a.period, func(*simclock.Scheduler) {
+		if len(a.rec.frames) == 0 {
+			return
+		}
+		f := a.rec.frames[a.next%len(a.rec.frames)]
+		a.next++
+		a.injected++
+		a.injector.TuneTo(f.Dst)
+		_ = a.injector.InjectRaw(f)
+	})
+}
+
+// End implements Attack.
+func (a *Replay) End(*simclock.Scheduler) {
+	if a.cancel != nil {
+		a.cancel()
+	}
+}
+
+// Injected returns the number of replayed frames.
+func (a *Replay) Injected() int { return a.injected }
+
+// --- Command injection ---
+
+// CommandInjection forges data frames with a claimed source (e.g. the
+// coordinator) carrying attacker-chosen payloads — the MITM/spoofed-command
+// scenario motivating mutual authentication.
+type CommandInjection struct {
+	injector *netsim.Adapter
+	claimSrc radio.NodeID
+	victim   radio.NodeID
+	payload  func() []byte
+	period   time.Duration
+	injected int
+	cancel   func()
+}
+
+// NewCommandInjection creates an injection attack sending payload() to victim
+// claiming to be claimSrc, once per period.
+func NewCommandInjection(injector *netsim.Adapter, claimSrc, victim radio.NodeID, payload func() []byte, period time.Duration) *CommandInjection {
+	return &CommandInjection{
+		injector: injector,
+		claimSrc: claimSrc,
+		victim:   victim,
+		payload:  payload,
+		period:   period,
+	}
+}
+
+var _ Attack = (*CommandInjection)(nil)
+
+// Name implements Attack.
+func (a *CommandInjection) Name() string { return "command-injection" }
+
+// Begin implements Attack.
+func (a *CommandInjection) Begin(s *simclock.Scheduler) {
+	a.cancel = s.Every(a.period, func(*simclock.Scheduler) {
+		a.injected++
+		a.injector.TuneTo(a.victim)
+		_ = a.injector.InjectRaw(netsim.Frame{
+			Kind:    netsim.FrameData,
+			Src:     a.claimSrc,
+			Dst:     a.victim,
+			Payload: a.payload(),
+		})
+	})
+}
+
+// End implements Attack.
+func (a *CommandInjection) End(*simclock.Scheduler) {
+	if a.cancel != nil {
+		a.cancel()
+	}
+}
+
+// Injected returns the number of forged commands sent.
+func (a *CommandInjection) Injected() int { return a.injected }
+
+// --- Generic ---
+
+// Func adapts a pair of closures into an Attack, for scenario-specific
+// adversary behaviour.
+type Func struct {
+	AttackName string
+	OnBegin    func(s *simclock.Scheduler)
+	OnEnd      func(s *simclock.Scheduler)
+}
+
+var _ Attack = (*Func)(nil)
+
+// Name implements Attack.
+func (a *Func) Name() string { return a.AttackName }
+
+// Begin implements Attack.
+func (a *Func) Begin(s *simclock.Scheduler) {
+	if a.OnBegin != nil {
+		a.OnBegin(s)
+	}
+}
+
+// End implements Attack.
+func (a *Func) End(s *simclock.Scheduler) {
+	if a.OnEnd != nil {
+		a.OnEnd(s)
+	}
+}

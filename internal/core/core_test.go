@@ -1,0 +1,176 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sotif"
+)
+
+func runPathway(t *testing.T, secured bool) *PathwayResult {
+	t.Helper()
+	res, err := RunPathway(PathwayOptions{
+		Seed:        42,
+		Secured:     secured,
+		EvidenceRun: 10 * time.Minute,
+		SOTIFTrials: 30,
+	})
+	if err != nil {
+		t.Fatalf("RunPathway(secured=%v): %v", secured, err)
+	}
+	return res
+}
+
+func TestSecuredPathwaySupported(t *testing.T) {
+	res := runPathway(t, true)
+	if !res.SACEval.Supported {
+		t.Fatalf("secured pathway SAC unsupported; unsupported nodes: %v\n%s",
+			res.SACEval.Unsupported, res.SAC.RenderGSN())
+	}
+	if res.SACEval.Score != 1 {
+		t.Fatalf("secured SAC score = %.2f, want 1.0 (unsupported: %v)",
+			res.SACEval.Score, res.SACEval.Unsupported)
+	}
+	if !res.Conformity.Ready {
+		t.Fatalf("secured pathway not CE-ready: %d/%d mandatory covered",
+			res.Conformity.MandatoryCovered, res.Conformity.MandatoryTotal)
+	}
+}
+
+func TestUnsecuredPathwayFails(t *testing.T) {
+	res := runPathway(t, false)
+	if res.SACEval.Supported {
+		t.Fatal("unsecured pathway SAC claimed supported")
+	}
+	if res.Conformity.Ready {
+		t.Fatal("unsecured pathway claimed CE-ready")
+	}
+	if res.SACEval.Score >= 1 {
+		t.Fatalf("unsecured SAC score = %.2f, want < 1", res.SACEval.Score)
+	}
+}
+
+func TestTreatmentShrinksRegister(t *testing.T) {
+	res := runPathway(t, true)
+	maxBefore, maxAfter := 0, 0
+	for _, r := range res.RegisterBefore {
+		if r.RiskValue > maxBefore {
+			maxBefore = r.RiskValue
+		}
+	}
+	for _, r := range res.RegisterAfter {
+		if r.RiskValue > maxAfter {
+			maxAfter = r.RiskValue
+		}
+	}
+	if maxBefore < 4 {
+		t.Fatalf("untreated max risk = %d, model too benign", maxBefore)
+	}
+	if maxAfter >= 4 {
+		t.Fatalf("treated max risk = %d, controls insufficient", maxAfter)
+	}
+}
+
+func TestInterplayImproves(t *testing.T) {
+	res := runPathway(t, true)
+	meetsBefore, meetsAfter := 0, 0
+	for _, r := range res.InterplayBefore {
+		if r.MeetsRequired {
+			meetsBefore++
+		}
+	}
+	for _, r := range res.InterplayAfter {
+		if r.MeetsRequired {
+			meetsAfter++
+		}
+	}
+	if meetsAfter <= meetsBefore {
+		t.Fatalf("interplay meets: %d -> %d, want improvement", meetsBefore, meetsAfter)
+	}
+	if meetsAfter != len(res.InterplayAfter) {
+		t.Fatalf("treated stack: %d/%d functions meet PLr", meetsAfter, len(res.InterplayAfter))
+	}
+}
+
+func TestSLGapsCloseWithControls(t *testing.T) {
+	res := runPathway(t, true)
+	unmet := func(zs []interface {
+	}) int {
+		return 0
+	}
+	_ = unmet
+	unmetBefore, unmetAfter := 0, 0
+	for _, z := range res.SLBefore {
+		if !z.Met {
+			unmetBefore++
+		}
+	}
+	for _, z := range res.SLAfter {
+		if !z.Met {
+			unmetAfter++
+		}
+	}
+	if unmetBefore == 0 {
+		t.Fatal("bare architecture met all SL targets")
+	}
+	if unmetAfter != 0 {
+		t.Fatalf("%d zones/conduits still unmet with full controls", unmetAfter)
+	}
+}
+
+func TestBootEvidence(t *testing.T) {
+	res := runPathway(t, true)
+	if !res.BootOK || !res.TamperDet || !res.AttestOK {
+		t.Fatalf("boot evidence: ok=%v tamper=%v attest=%v", res.BootOK, res.TamperDet, res.AttestOK)
+	}
+}
+
+func TestSOTIFDroneImprovement(t *testing.T) {
+	res := runPathway(t, true)
+	if res.SOTIFImp.UnsafeAfter > res.SOTIFImp.UnsafeBefore {
+		t.Fatalf("drone made SOTIF worse: %d -> %d unsafe",
+			res.SOTIFImp.UnsafeBefore, res.SOTIFImp.UnsafeAfter)
+	}
+}
+
+func TestRenderings(t *testing.T) {
+	res := runPathway(t, true)
+	gsn := res.SAC.RenderGSN()
+	for _, want := range []string{"G-TOP", "G-SECURITY", "G-SAFETY", "G-AI", "Sn-BOOT", "E-GNSS"} {
+		if !strings.Contains(gsn, want) {
+			t.Fatalf("GSN missing %q", want)
+		}
+	}
+	mods := res.SAC.Modules()
+	if len(mods) != 4 {
+		t.Fatalf("modules = %v, want security/safety/ai/compliance", mods)
+	}
+}
+
+func TestDetectionMissRateOcclusionMonotonic(t *testing.T) {
+	low := DetectionMissRate(7, sotif.Scenario{ID: "lo", OcclusionDensity: 0.05}, false, 60)
+	high := DetectionMissRate(7, sotif.Scenario{ID: "hi", OcclusionDensity: 0.4}, false, 60)
+	if high <= low {
+		t.Fatalf("miss rate: occlusion 0.05 -> %.2f, 0.40 -> %.2f; want increase", low, high)
+	}
+}
+
+func TestDetectionMissRateDroneHelps(t *testing.T) {
+	sc := sotif.Scenario{ID: "occ", OcclusionDensity: 0.35}
+	without := DetectionMissRate(7, sc, false, 80)
+	with := DetectionMissRate(7, sc, true, 80)
+	if with >= without {
+		t.Fatalf("drone did not reduce miss rate: %.2f -> %.2f", without, with)
+	}
+}
+
+func TestPathwayDeterminism(t *testing.T) {
+	a := runPathway(t, true)
+	b := runPathway(t, true)
+	if a.SACEval.Score != b.SACEval.Score ||
+		a.Worksite.Metrics != b.Worksite.Metrics ||
+		a.Conformity.Readiness != b.Conformity.Readiness {
+		t.Fatal("pathway not deterministic for equal seeds")
+	}
+}

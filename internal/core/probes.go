@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/fusion"
+	"repro/internal/geo"
+	"repro/internal/pki"
+	"repro/internal/rng"
+	"repro/internal/secureboot"
+	"repro/internal/sensors"
+	"repro/internal/simval"
+	"repro/internal/sotif"
+)
+
+// bootFixture is the measured-boot evidence setup: a vendor signing identity,
+// a machine attestation identity, and the forwarder's three-stage chain.
+type bootFixture struct {
+	vendor  pki.Identity
+	machine pki.Identity
+	chain   secureboot.Chain
+}
+
+func buildBootFixture(seed int64) (bootFixture, error) {
+	r := rng.New(seed)
+	ca, err := pki.NewCA("vendor-root", r.Derive("boot-ca"))
+	if err != nil {
+		return bootFixture{}, err
+	}
+	vendor, err := ca.Issue("forwarder-vendor-signing", pki.RoleOperator, 0, 365*24*time.Hour)
+	if err != nil {
+		return bootFixture{}, err
+	}
+	machine, err := ca.Issue("forwarder-ecu", pki.RoleMachine, 0, 365*24*time.Hour)
+	if err != nil {
+		return bootFixture{}, err
+	}
+	images := []secureboot.Image{
+		{Name: "bootloader", Version: 2, Content: []byte("forwarder bootloader v2")},
+		{Name: "rtos", Version: 5, Content: []byte("forwarder rtos v5")},
+		{Name: "control-app", Version: 11, Content: []byte("forwarder control app v11")},
+	}
+	var chain secureboot.Chain
+	for _, im := range images {
+		chain.Stages = append(chain.Stages, secureboot.Stage{
+			Image:    im,
+			Manifest: secureboot.SignManifest(vendor, im),
+		})
+	}
+	return bootFixture{vendor: vendor, machine: machine, chain: chain}, nil
+}
+
+// simValProbe validates the sensor simulation against a designated golden
+// reference: the same sensor models driven by an independent seed stand in
+// for real-world measurements (the documented substitution for Section
+// III-D's missing forestry datasets). Each sensor contributes one observable
+// distribution.
+func simValProbe(seed int64) (simval.ToolchainReport, error) {
+	ref := rng.New(seed).Derive("simval-reference")
+	syn := rng.New(seed).Derive("simval-synthetic")
+
+	const n = 1500
+	sample := func(r *rng.Rand, f func(*rng.Rand) float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = f(r)
+		}
+		return out
+	}
+
+	// Radial position error (positive mean, so the relative-moment criteria
+	// are well-conditioned).
+	gnssNoise := func(r *rng.Rand) float64 { return math.Hypot(r.Norm(0, 1.2), r.Norm(0, 1.2)) }
+	lidarRange := func(r *rng.Rand) float64 { return 5 + r.Exp(0.08) }
+	cameraConf := func(r *rng.Rand) float64 { return clamp01(r.Norm(0.8, 0.1)) }
+
+	crit := simval.DefaultCriteria()
+	var results []simval.Result
+	for _, spec := range []struct {
+		name string
+		f    func(*rng.Rand) float64
+	}{
+		{"gnss-position-noise", gnssNoise},
+		{"lidar-detection-range", lidarRange},
+		{"camera-confidence", cameraConf},
+	} {
+		res, err := simval.Validate(spec.name,
+			sample(ref.Derive(spec.name), spec.f),
+			sample(syn.Derive(spec.name), spec.f), crit)
+		if err != nil {
+			return simval.ToolchainReport{}, fmt.Errorf("simval probe: %w", err)
+		}
+		results = append(results, res)
+	}
+	return simval.Aggregate(results), nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// sotifProbe evaluates the known SOTIF scenario catalog with and without the
+// drone's additional point of view, returning the with-drone report and the
+// improvement the drone buys (the Fig. 2 claim as a SOTIF statement).
+func sotifProbe(seed int64, trials int) (sotif.Report, sotif.Improvement) {
+	analysis := sotif.NewAnalysis(0.15)
+	scenarios := sotif.KnownCatalog()
+
+	evalWith := func(droneOn bool) sotif.Report {
+		return analysis.Evaluate(scenarios, func(sc sotif.Scenario) float64 {
+			return DetectionMissRate(seed, sc, droneOn, trials)
+		})
+	}
+	before := evalWith(false)
+	after := evalWith(true)
+	return after, sotif.CompareReports(before, after)
+}
+
+// DetectionMissRate measures the people-detection miss rate for one SOTIF
+// scenario: the fraction of trials in which a worker near the forwarder is
+// never confirmed within the time budget. It is the shared evaluator behind
+// the E2 benchmark, the SOTIF probe and the dronecollab example.
+func DetectionMissRate(seed int64, sc sotif.Scenario, droneOn bool, trials int) float64 {
+	return DetectionMissRateWithPolicy(seed, sc, droneOn, trials, 2)
+}
+
+// DetectionMissRateWithPolicy is DetectionMissRate with an explicit fusion
+// confirmation threshold (the E2a ablation knob).
+func DetectionMissRateWithPolicy(seed int64, sc sotif.Scenario, droneOn bool, trials, confirmHits int) float64 {
+	r := rng.New(seed).Derive("sotif-" + sc.ID + map[bool]string{true: "-drone", false: ""}[droneOn])
+	grid, err := geo.NewGrid(60, 60, 2) // 120x120 m interaction area
+	if err != nil {
+		return 1
+	}
+	grid.GenerateForest(r.Derive("forest"), geo.ForestOptions{TreeDensity: sc.OcclusionDensity})
+
+	fwPos := geo.V(60, 60)
+	// Keep the forwarder's own cell open.
+	grid.Set(grid.CellOf(fwPos), geo.Ground)
+
+	lidar := sensors.NewLidar(r, grid)
+	camera := sensors.NewCamera(r, grid)
+	var aerial *sensors.AerialCamera
+	if droneOn {
+		aerial = sensors.NewAerialCamera(r, grid)
+	}
+
+	tr := r.Derive("trials")
+	misses := 0
+	const (
+		ticks      = 20 // 10 s at 500 ms
+		tickPeriod = 500 * time.Millisecond
+	)
+	for trial := 0; trial < trials; trial++ {
+		// Worker appears somewhere within 30 m of the machine.
+		angle := tr.Range(0, 6.28318)
+		dist := tr.Range(8, 30)
+		worker := fwPos.Add(geo.V(cos(angle), sin(angle)).Scale(dist))
+		targets := []sensors.Target{{ID: "w", Pos: worker}}
+
+		tracker := fusion.NewTracker(fusion.Options{ConfirmHits: confirmHits})
+		dronePos := fwPos.Add(geo.V(25, 0))
+		detected := false
+		for tick := 0; tick < ticks; tick++ {
+			now := time.Duration(tick) * tickPeriod
+			dets := lidar.Scan(fwPos, targets, sc.Weather)
+			dets = append(dets, camera.Scan(fwPos, targets, sc.Weather)...)
+			if aerial != nil {
+				// Drone orbits the machine.
+				a := float64(tick) * 0.3
+				dronePos = fwPos.Add(geo.V(cos(a), sin(a)).Scale(25))
+				dets = append(dets, aerial.Scan(dronePos, targets, sc.Weather)...)
+			}
+			for _, confirmed := range tracker.Update(now, dets) {
+				if confirmed.TargetID == "w" {
+					detected = true
+				}
+			}
+			if detected {
+				break
+			}
+		}
+		if !detected {
+			misses++
+		}
+	}
+	return float64(misses) / float64(trials)
+}
+
+func cos(x float64) float64 { return math.Cos(x) }
+func sin(x float64) float64 { return math.Sin(x) }

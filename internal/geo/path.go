@@ -1,0 +1,134 @@
+package geo
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// ErrNoPath is returned when the planner cannot connect start and goal.
+var ErrNoPath = errors.New("no drivable path between start and goal")
+
+// roadCostFactor makes roads preferred over raw ground by the planner.
+const roadCostFactor = 0.5
+
+// FindPath plans a drivable route from world position start to goal using A*
+// over the grid's drivable cells (8-connected, corner-cut safe). It returns
+// the route as a sequence of world waypoints including the goal, or ErrNoPath.
+func (g *Grid) FindPath(start, goal Vec) ([]Vec, error) {
+	s, t := g.CellOf(start), g.CellOf(goal)
+	if !g.InBounds(s) || !g.InBounds(t) {
+		return nil, ErrNoPath
+	}
+	if !g.At(s).Drivable() || !g.At(t).Drivable() {
+		return nil, ErrNoPath
+	}
+	if s == t {
+		return []Vec{goal}, nil
+	}
+
+	idx := func(c Cell) int { return c.Row*g.cols + c.Col }
+	gScore := make(map[int]float64, 256)
+	came := make(map[int]Cell, 256)
+	gScore[idx(s)] = 0
+
+	open := &cellQueue{}
+	heap.Init(open)
+	heap.Push(open, cellItem{cell: s, priority: g.heuristic(s, t)})
+
+	closed := make(map[int]bool, 256)
+
+	for open.Len() > 0 {
+		item, ok := heap.Pop(open).(cellItem)
+		if !ok {
+			break
+		}
+		cur := item.cell
+		ci := idx(cur)
+		if closed[ci] {
+			continue
+		}
+		closed[ci] = true
+		if cur == t {
+			return g.reconstruct(came, cur, s, goal), nil
+		}
+		for _, step := range neighborSteps {
+			next := Cell{Col: cur.Col + step.dc, Row: cur.Row + step.dr}
+			if !g.InBounds(next) || !g.At(next).Drivable() {
+				continue
+			}
+			// Disallow cutting corners diagonally past blocked cells.
+			if step.dc != 0 && step.dr != 0 {
+				side1 := Cell{Col: cur.Col + step.dc, Row: cur.Row}
+				side2 := Cell{Col: cur.Col, Row: cur.Row + step.dr}
+				if !g.At(side1).Drivable() || !g.At(side2).Drivable() {
+					continue
+				}
+			}
+			cost := step.cost * g.cellSize
+			if g.At(next) == Road {
+				cost *= roadCostFactor
+			}
+			ni := idx(next)
+			tentative := gScore[ci] + cost
+			if prev, seen := gScore[ni]; seen && tentative >= prev {
+				continue
+			}
+			gScore[ni] = tentative
+			came[ni] = cur
+			heap.Push(open, cellItem{cell: next, priority: tentative + g.heuristic(next, t)})
+		}
+	}
+	return nil, ErrNoPath
+}
+
+func (g *Grid) heuristic(a, b Cell) float64 {
+	dx := float64(a.Col - b.Col)
+	dy := float64(a.Row - b.Row)
+	return math.Hypot(dx, dy) * g.cellSize * roadCostFactor
+}
+
+func (g *Grid) reconstruct(came map[int]Cell, cur, start Cell, goal Vec) []Vec {
+	idx := func(c Cell) int { return c.Row*g.cols + c.Col }
+	var rev []Cell
+	for cur != start {
+		rev = append(rev, cur)
+		cur = came[idx(cur)]
+	}
+	path := make([]Vec, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, g.Center(rev[i]))
+	}
+	if len(path) == 0 {
+		return []Vec{goal}
+	}
+	path[len(path)-1] = goal
+	return path
+}
+
+var neighborSteps = []struct {
+	dc, dr int
+	cost   float64
+}{
+	{1, 0, 1}, {-1, 0, 1}, {0, 1, 1}, {0, -1, 1},
+	{1, 1, math.Sqrt2}, {1, -1, math.Sqrt2}, {-1, 1, math.Sqrt2}, {-1, -1, math.Sqrt2},
+}
+
+type cellItem struct {
+	cell     Cell
+	priority float64
+}
+
+type cellQueue []cellItem
+
+func (q cellQueue) Len() int            { return len(q) }
+func (q cellQueue) Less(i, j int) bool  { return q[i].priority < q[j].priority }
+func (q cellQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *cellQueue) Push(x interface{}) { *q = append(*q, x.(cellItem)) }
+func (q *cellQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

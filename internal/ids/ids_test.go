@@ -1,0 +1,216 @@
+package ids
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSignatureDetectorImmediateAlerts(t *testing.T) {
+	tests := []struct {
+		kind     EventKind
+		wantType string
+		wantSev  Severity
+	}{
+		{EventMgmtForgery, "mgmt-forgery", SeverityCritical},
+		{EventReplayRejected, "replay", SeverityWarning},
+		{EventAuthFailure, "auth-failure", SeverityCritical},
+		{EventDecryptFailure, "tampered-record", SeverityWarning},
+		{EventBootFailure, "boot-integrity", SeverityCritical},
+		{EventAttestationFailure, "attestation", SeverityCritical},
+	}
+	for _, tt := range tests {
+		t.Run(tt.wantType, func(t *testing.T) {
+			e := NewEngine(NewSignatureDetector())
+			e.Ingest(Event{Kind: tt.kind, At: time.Second, Source: "link"})
+			alerts := e.Alerts()
+			if len(alerts) != 1 {
+				t.Fatalf("alerts = %d, want 1", len(alerts))
+			}
+			if alerts[0].Type != tt.wantType || alerts[0].Severity != tt.wantSev {
+				t.Fatalf("got %s/%s, want %s/%s",
+					alerts[0].Type, alerts[0].Severity, tt.wantType, tt.wantSev)
+			}
+		})
+	}
+}
+
+func TestSignatureDetectorIgnoresBenign(t *testing.T) {
+	e := NewEngine(NewSignatureDetector())
+	e.Ingest(Event{Kind: EventLinkSample, OK: true, Value: 1})
+	e.Ingest(Event{Kind: EventGNSSVerdict, OK: true})
+	if len(e.Alerts()) != 0 {
+		t.Fatalf("benign events raised %d alerts", len(e.Alerts()))
+	}
+}
+
+func TestDeauthFloodThreshold(t *testing.T) {
+	d := NewDeauthFloodDetector(5, 10*time.Second)
+	e := NewEngine(d)
+	for i := 0; i < 4; i++ {
+		e.Ingest(Event{Kind: EventDeauth, At: time.Duration(i) * time.Second, Source: "fw"})
+	}
+	if len(e.Alerts()) != 0 {
+		t.Fatal("alert before threshold")
+	}
+	e.Ingest(Event{Kind: EventDeauth, At: 4 * time.Second, Source: "fw"})
+	if len(e.Alerts()) != 1 {
+		t.Fatalf("alerts = %d, want 1 at threshold", len(e.Alerts()))
+	}
+	if e.Alerts()[0].Type != "deauth-flood" {
+		t.Fatalf("type = %s", e.Alerts()[0].Type)
+	}
+}
+
+func TestDeauthFloodWindowSlides(t *testing.T) {
+	d := NewDeauthFloodDetector(3, 5*time.Second)
+	e := NewEngine(d)
+	// Three events spread over 30 s never fill a 5 s window.
+	for i := 0; i < 3; i++ {
+		e.Ingest(Event{Kind: EventDeauth, At: time.Duration(i*15) * time.Second, Source: "fw"})
+	}
+	if len(e.Alerts()) != 0 {
+		t.Fatal("slow drip raised flood alert")
+	}
+}
+
+func TestDeauthFloodRateLimited(t *testing.T) {
+	d := NewDeauthFloodDetector(2, 10*time.Second)
+	e := NewEngine(d)
+	for i := 0; i < 20; i++ {
+		e.Ingest(Event{Kind: EventDeauth, At: time.Duration(i*100) * time.Millisecond, Source: "fw"})
+	}
+	if n := len(e.Alerts()); n != 1 {
+		t.Fatalf("alerts = %d, want 1 (rate-limited per window)", n)
+	}
+}
+
+func TestDeauthFloodPerSource(t *testing.T) {
+	d := NewDeauthFloodDetector(3, 10*time.Second)
+	e := NewEngine(d)
+	// Two sources at 2 events each: below per-source threshold.
+	for i := 0; i < 2; i++ {
+		e.Ingest(Event{Kind: EventDeauth, At: time.Second, Source: "a"})
+		e.Ingest(Event{Kind: EventDeauth, At: time.Second, Source: "b"})
+	}
+	if len(e.Alerts()) != 0 {
+		t.Fatal("cross-source events pooled into one counter")
+	}
+}
+
+func TestLinkQualityCollapseAndRecovery(t *testing.T) {
+	d := NewLinkQualityDetector(0.3, 0.5)
+	e := NewEngine(d)
+	feed := func(v float64, n int, start time.Duration) {
+		for i := 0; i < n; i++ {
+			e.Ingest(Event{
+				Kind: EventLinkSample, At: start + time.Duration(i)*time.Second,
+				Source: "fw<->coord", Value: v, OK: v > 0.5,
+			})
+		}
+	}
+	feed(1, 10, 0) // healthy warm-up
+	if len(e.Alerts()) != 0 {
+		t.Fatal("healthy link raised alerts")
+	}
+	feed(0, 10, 10*time.Second) // jamming: total loss
+	alerts := e.Alerts()
+	if len(alerts) == 0 || alerts[0].Type != "link-degraded" {
+		t.Fatalf("expected link-degraded alert, got %v", alerts)
+	}
+	feed(1, 10, 20*time.Second) // recovery
+	last := e.Alerts()[len(e.Alerts())-1]
+	if last.Type != "link-recovered" {
+		t.Fatalf("last alert = %s, want link-recovered", last.Type)
+	}
+}
+
+func TestLinkQualityWarmup(t *testing.T) {
+	d := NewLinkQualityDetector(0.3, 0.5)
+	e := NewEngine(d)
+	// Fewer than 5 samples: no alert even if all lost.
+	for i := 0; i < 4; i++ {
+		e.Ingest(Event{Kind: EventLinkSample, Source: "l", Value: 0})
+	}
+	if len(e.Alerts()) != 0 {
+		t.Fatal("alert during warm-up")
+	}
+}
+
+func TestGNSSConsistencyStreak(t *testing.T) {
+	d := NewGNSSConsistencyDetector(3)
+	e := NewEngine(d)
+	bad := Event{Kind: EventGNSSVerdict, Source: "fw", OK: false, Detail: "jump"}
+	good := Event{Kind: EventGNSSVerdict, Source: "fw", OK: true}
+	e.Ingest(bad)
+	e.Ingest(bad)
+	e.Ingest(good) // streak reset
+	e.Ingest(bad)
+	e.Ingest(bad)
+	if len(e.Alerts()) != 0 {
+		t.Fatal("alert without full streak")
+	}
+	e.Ingest(bad)
+	alerts := e.Alerts()
+	if len(alerts) != 1 || alerts[0].Type != "gnss-anomaly" {
+		t.Fatalf("alerts = %v, want one gnss-anomaly", alerts)
+	}
+	// Recovery info alert.
+	e.Ingest(good)
+	last := e.Alerts()[len(e.Alerts())-1]
+	if last.Type != "gnss-recovered" {
+		t.Fatalf("last = %s, want gnss-recovered", last.Type)
+	}
+}
+
+func TestEngineCallbacksAndCounts(t *testing.T) {
+	e := NewEngine(NewSignatureDetector())
+	var seen []Alert
+	e.OnAlert = func(a Alert) { seen = append(seen, a) }
+	e.Ingest(Event{Kind: EventMgmtForgery, Source: "x"})
+	e.Ingest(Event{Kind: EventMgmtForgery, Source: "y"})
+	e.Ingest(Event{Kind: EventReplayRejected, Source: "z"})
+	if len(seen) != 3 {
+		t.Fatalf("callback saw %d alerts, want 3", len(seen))
+	}
+	counts := e.CountByType()
+	if counts["mgmt-forgery"] != 2 || counts["replay"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if e.CriticalCount() != 2 {
+		t.Fatalf("critical = %d, want 2", e.CriticalCount())
+	}
+}
+
+func TestDetectionLatency(t *testing.T) {
+	e := NewEngine(NewDeauthFloodDetector(3, 10*time.Second))
+	for i := 0; i < 3; i++ {
+		e.Ingest(Event{
+			Kind: EventDeauth, At: time.Duration(i) * time.Second,
+			Source: "fw", OK: false,
+		})
+	}
+	lat, ok := e.DetectionLatency("deauth-flood", EventDeauth.String())
+	if !ok {
+		t.Fatal("latency unavailable")
+	}
+	if lat != 2*time.Second {
+		t.Fatalf("latency = %v, want 2s", lat)
+	}
+}
+
+func TestDefaultEngineIntegrates(t *testing.T) {
+	e := DefaultEngine()
+	// A realistic burst: forged mgmt frames plus deauth flood.
+	for i := 0; i < 8; i++ {
+		at := time.Duration(i) * 200 * time.Millisecond
+		e.Ingest(Event{Kind: EventDeauth, At: at, Source: "coord"})
+		e.Ingest(Event{Kind: EventMgmtForgery, At: at, Source: "coord"})
+	}
+	counts := e.CountByType()
+	if counts["mgmt-forgery"] != 8 {
+		t.Fatalf("mgmt-forgery = %d, want 8", counts["mgmt-forgery"])
+	}
+	if counts["deauth-flood"] == 0 {
+		t.Fatal("flood detector missed the burst")
+	}
+}

@@ -1,0 +1,270 @@
+// Package machine models the worksite actors of the paper's Fig. 1: the
+// autonomous forwarder, the manually operated harvester, and the observation
+// drone — their kinematics, mission states, and the safety controller that
+// turns fused people detections and security telemetry into stop decisions.
+//
+// The safety controller follows the machinery-safety shape of ISO 13849:
+// independent named stop latches (protective field, communication watchdog,
+// navigation integrity, manual e-stop) combine by OR into the safe state, and
+// a warning field degrades speed before the protective field forces a stop.
+// Security-informed safety per IEC TS 63074 enters through the latches wired
+// to comms and GNSS integrity.
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// Kind classifies a worksite machine.
+type Kind int
+
+// Machine kinds.
+const (
+	KindForwarder Kind = iota + 1
+	KindHarvester
+	KindDrone
+)
+
+// String returns a short kind label.
+func (k Kind) String() string {
+	switch k {
+	case KindForwarder:
+		return "forwarder"
+	case KindHarvester:
+		return "harvester"
+	case KindDrone:
+		return "drone"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// State is the machine's mission state.
+type State int
+
+// Mission states.
+const (
+	StateIdle State = iota + 1
+	StateDriving
+	StateLoading
+	StateUnloading
+)
+
+// String returns a short state label.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateDriving:
+		return "driving"
+	case StateLoading:
+		return "loading"
+	case StateUnloading:
+		return "unloading"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Stop latch reasons used by the worksite stack.
+const (
+	StopReasonPerson   = "protective-field"
+	StopReasonComms    = "comms-watchdog"
+	StopReasonNav      = "nav-integrity"
+	StopReasonEStop    = "manual-estop"
+	StopReasonSecurity = "security-response"
+)
+
+// Machine is one worksite actor. It is driven by Tick from simulation events.
+type Machine struct {
+	ID   string
+	Kind Kind
+	Pose geo.Pose
+
+	// MaxSpeedMPS is the nominal cruise speed; SlowSpeedMPS applies in the
+	// warning field or degraded ("limp") mode.
+	MaxSpeedMPS  float64
+	SlowSpeedMPS float64
+
+	state    State
+	path     []geo.Vec
+	pathIdx  int
+	slow     map[string]bool
+	stops    map[string]bool
+	odometer float64
+
+	// stop bookkeeping for experiment metrics
+	stopTransitions int
+	stoppedFor      time.Duration
+}
+
+// New creates a machine at the given pose with kind-appropriate speeds.
+func New(id string, kind Kind, pose geo.Pose) *Machine {
+	m := &Machine{
+		ID:    id,
+		Kind:  kind,
+		Pose:  pose,
+		state: StateIdle,
+		slow:  make(map[string]bool),
+		stops: make(map[string]bool),
+	}
+	switch kind {
+	case KindForwarder:
+		m.MaxSpeedMPS, m.SlowSpeedMPS = 4.5, 1.0
+	case KindHarvester:
+		m.MaxSpeedMPS, m.SlowSpeedMPS = 2.0, 0.5
+	case KindDrone:
+		m.MaxSpeedMPS, m.SlowSpeedMPS = 12, 4
+	}
+	return m
+}
+
+// State returns the mission state.
+func (m *Machine) State() State { return m.state }
+
+// SetState transitions the mission state.
+func (m *Machine) SetState(s State) { m.state = s }
+
+// Odometer returns the cumulative distance travelled in metres.
+func (m *Machine) Odometer() float64 { return m.odometer }
+
+// SetPath assigns waypoints and enters the driving state. The slice is
+// copied.
+func (m *Machine) SetPath(path []geo.Vec) {
+	m.path = make([]geo.Vec, len(path))
+	copy(m.path, path)
+	m.pathIdx = 0
+	if len(m.path) > 0 {
+		m.state = StateDriving
+	}
+}
+
+// AtDestination reports whether all waypoints are consumed.
+func (m *Machine) AtDestination() bool { return m.pathIdx >= len(m.path) }
+
+// Destination returns the final waypoint, if any.
+func (m *Machine) Destination() (geo.Vec, bool) {
+	if len(m.path) == 0 {
+		return geo.Vec{}, false
+	}
+	return m.path[len(m.path)-1], true
+}
+
+// SetStop latches (or clears) a named stop reason.
+func (m *Machine) SetStop(reason string, on bool) {
+	was := m.Stopped()
+	if on {
+		m.stops[reason] = true
+	} else {
+		delete(m.stops, reason)
+	}
+	if !was && m.Stopped() {
+		m.stopTransitions++
+	}
+}
+
+// SetSlow latches (or clears) a named speed-degradation reason.
+func (m *Machine) SetSlow(reason string, on bool) {
+	if on {
+		m.slow[reason] = true
+	} else {
+		delete(m.slow, reason)
+	}
+}
+
+// Stopped reports whether any stop latch is set.
+func (m *Machine) Stopped() bool { return len(m.stops) > 0 }
+
+// StopReasons returns the active stop latches, sorted.
+func (m *Machine) StopReasons() []string {
+	out := make([]string, 0, len(m.stops))
+	for r := range m.stops {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StopTransitions returns how many times the machine entered the stopped
+// state (an E1/E5 safety KPI).
+func (m *Machine) StopTransitions() int { return m.stopTransitions }
+
+// StoppedDuration returns the cumulative time spent stopped while having a
+// path to follow.
+func (m *Machine) StoppedDuration() time.Duration { return m.stoppedFor }
+
+// EffectiveSpeed returns the commanded speed under the current latches.
+func (m *Machine) EffectiveSpeed() float64 {
+	if m.Stopped() {
+		return 0
+	}
+	if len(m.slow) > 0 {
+		return m.SlowSpeedMPS
+	}
+	return m.MaxSpeedMPS
+}
+
+// Tick advances the machine by dt along its path. It returns the distance
+// moved.
+func (m *Machine) Tick(dt time.Duration) float64 {
+	if m.state != StateDriving || m.AtDestination() {
+		return 0
+	}
+	if m.Stopped() {
+		m.stoppedFor += dt
+		return 0
+	}
+	speed := m.EffectiveSpeed()
+	budget := speed * dt.Seconds()
+	var moved float64
+	for budget > 0 && !m.AtDestination() {
+		wp := m.path[m.pathIdx]
+		d := m.Pose.Pos.Dist(wp)
+		if d <= budget {
+			m.Pose.Pos = wp
+			m.pathIdx++
+			budget -= d
+			moved += d
+			continue
+		}
+		dir := wp.Sub(m.Pose.Pos).Norm()
+		m.Pose.Pos = m.Pose.Pos.Add(dir.Scale(budget))
+		m.Pose.Heading = dir.Angle()
+		moved += budget
+		budget = 0
+	}
+	m.odometer += moved
+	if m.AtDestination() {
+		m.state = StateIdle
+	}
+	return moved
+}
+
+// Watchdog is a deadline monitor for safety-relevant heartbeats (coordinator
+// liveness, drone observation feed). Expiry drives a fail-safe stop latch —
+// the "safe state on communication loss" behaviour machinery safety requires.
+type Watchdog struct {
+	Timeout time.Duration
+
+	last    time.Duration
+	started bool
+}
+
+// NewWatchdog creates a watchdog with the given timeout.
+func NewWatchdog(timeout time.Duration) *Watchdog { return &Watchdog{Timeout: timeout} }
+
+// Beat records a heartbeat at virtual time now.
+func (w *Watchdog) Beat(now time.Duration) {
+	w.last = now
+	w.started = true
+}
+
+// Expired reports whether the heartbeat deadline has passed. An un-started
+// watchdog is not expired (grace period until first beat).
+func (w *Watchdog) Expired(now time.Duration) bool {
+	return w.started && now-w.last > w.Timeout
+}

@@ -1,0 +1,214 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+func TestKindDefaults(t *testing.T) {
+	fw := New("fw", KindForwarder, geo.Pose{})
+	dr := New("dr", KindDrone, geo.Pose{})
+	if fw.MaxSpeedMPS >= dr.MaxSpeedMPS {
+		t.Fatal("drone should be faster than forwarder")
+	}
+	if fw.State() != StateIdle {
+		t.Fatalf("initial state = %v, want idle", fw.State())
+	}
+}
+
+func TestTickFollowsPath(t *testing.T) {
+	m := New("fw", KindForwarder, geo.Pose{Pos: geo.V(0, 0)})
+	m.SetPath([]geo.Vec{geo.V(10, 0), geo.V(10, 10)})
+	if m.State() != StateDriving {
+		t.Fatal("SetPath must enter driving state")
+	}
+	total := 0.0
+	for i := 0; i < 100 && !m.AtDestination(); i++ {
+		total += m.Tick(time.Second)
+	}
+	if !m.AtDestination() {
+		t.Fatal("never reached destination")
+	}
+	if m.Pose.Pos.Dist(geo.V(10, 10)) > 1e-9 {
+		t.Fatalf("final pos = %v", m.Pose.Pos)
+	}
+	if math.Abs(total-20) > 1e-9 {
+		t.Fatalf("distance = %v, want 20", total)
+	}
+	if m.State() != StateIdle {
+		t.Fatalf("state after arrival = %v, want idle", m.State())
+	}
+	if math.Abs(m.Odometer()-20) > 1e-9 {
+		t.Fatalf("odometer = %v, want 20", m.Odometer())
+	}
+}
+
+func TestTickConsumesMultipleWaypointsInOneStep(t *testing.T) {
+	m := New("fw", KindForwarder, geo.Pose{Pos: geo.V(0, 0)})
+	m.SetPath([]geo.Vec{geo.V(1, 0), geo.V(2, 0), geo.V(3, 0)})
+	m.Tick(10 * time.Second) // 45 m budget >> 3 m path
+	if !m.AtDestination() {
+		t.Fatal("long tick did not consume path")
+	}
+}
+
+func TestStopLatchesHaltMotion(t *testing.T) {
+	m := New("fw", KindForwarder, geo.Pose{Pos: geo.V(0, 0)})
+	m.SetPath([]geo.Vec{geo.V(100, 0)})
+	m.SetStop(StopReasonPerson, true)
+	if moved := m.Tick(time.Second); moved != 0 {
+		t.Fatalf("moved %v while stopped", moved)
+	}
+	if m.EffectiveSpeed() != 0 {
+		t.Fatal("effective speed nonzero while stopped")
+	}
+	if m.StoppedDuration() != time.Second {
+		t.Fatalf("stopped duration = %v", m.StoppedDuration())
+	}
+	m.SetStop(StopReasonPerson, false)
+	if moved := m.Tick(time.Second); moved == 0 {
+		t.Fatal("did not move after stop release")
+	}
+}
+
+func TestMultipleStopReasonsORed(t *testing.T) {
+	m := New("fw", KindForwarder, geo.Pose{})
+	m.SetStop(StopReasonPerson, true)
+	m.SetStop(StopReasonComms, true)
+	m.SetStop(StopReasonPerson, false)
+	if !m.Stopped() {
+		t.Fatal("machine moved with one latch still set")
+	}
+	reasons := m.StopReasons()
+	if len(reasons) != 1 || reasons[0] != StopReasonComms {
+		t.Fatalf("reasons = %v", reasons)
+	}
+	m.SetStop(StopReasonComms, false)
+	if m.Stopped() {
+		t.Fatal("stopped with no latches")
+	}
+}
+
+func TestStopTransitionsCounted(t *testing.T) {
+	m := New("fw", KindForwarder, geo.Pose{})
+	m.SetStop("a", true)
+	m.SetStop("b", true) // still one stop episode
+	m.SetStop("a", false)
+	m.SetStop("b", false)
+	m.SetStop("a", true) // second episode
+	if m.StopTransitions() != 2 {
+		t.Fatalf("transitions = %d, want 2", m.StopTransitions())
+	}
+}
+
+func TestSlowMode(t *testing.T) {
+	m := New("fw", KindForwarder, geo.Pose{})
+	m.SetSlow("warning-field", true)
+	if m.EffectiveSpeed() != m.SlowSpeedMPS {
+		t.Fatalf("speed = %v, want slow %v", m.EffectiveSpeed(), m.SlowSpeedMPS)
+	}
+	m.SetSlow("warning-field", false)
+	if m.EffectiveSpeed() != m.MaxSpeedMPS {
+		t.Fatalf("speed = %v, want max", m.EffectiveSpeed())
+	}
+}
+
+func TestWatchdog(t *testing.T) {
+	w := NewWatchdog(3 * time.Second)
+	if w.Expired(10 * time.Second) {
+		t.Fatal("un-started watchdog expired")
+	}
+	w.Beat(10 * time.Second)
+	if w.Expired(12 * time.Second) {
+		t.Fatal("expired within timeout")
+	}
+	if !w.Expired(14 * time.Second) {
+		t.Fatal("not expired after timeout")
+	}
+	w.Beat(14 * time.Second)
+	if w.Expired(15 * time.Second) {
+		t.Fatal("expired right after beat")
+	}
+}
+
+func TestSafetyControllerProtectiveStop(t *testing.T) {
+	m := New("fw", KindForwarder, geo.Pose{Pos: geo.V(0, 0)})
+	sc := NewSafetyController(m)
+	d := sc.Assess(0, []geo.Vec{geo.V(3, 0)}) // inside protective radius 6
+	if d != FieldProtective {
+		t.Fatalf("decision = %v, want protective", d)
+	}
+	if !m.Stopped() {
+		t.Fatal("machine not stopped on protective breach")
+	}
+	if sc.BreachCount() != 1 {
+		t.Fatalf("breaches = %d, want 1", sc.BreachCount())
+	}
+}
+
+func TestSafetyControllerWarningSlows(t *testing.T) {
+	m := New("fw", KindForwarder, geo.Pose{Pos: geo.V(0, 0)})
+	sc := NewSafetyController(m)
+	d := sc.Assess(0, []geo.Vec{geo.V(9, 0)}) // warning ring (6, 12]
+	if d != FieldWarning {
+		t.Fatalf("decision = %v, want warning", d)
+	}
+	if m.Stopped() {
+		t.Fatal("warning field must not stop")
+	}
+	if m.EffectiveSpeed() != m.SlowSpeedMPS {
+		t.Fatal("warning field must slow")
+	}
+}
+
+func TestSafetyControllerHoldTime(t *testing.T) {
+	m := New("fw", KindForwarder, geo.Pose{Pos: geo.V(0, 0)})
+	sc := NewSafetyController(m)
+	sc.Assess(0, []geo.Vec{geo.V(3, 0)})
+	// Field clears, but within hold time the stop must persist.
+	sc.Assess(time.Second, nil)
+	if !m.Stopped() {
+		t.Fatal("stop released before hold time")
+	}
+	sc.Assess(5*time.Second, nil)
+	if m.Stopped() {
+		t.Fatal("stop held past hold time with clear field")
+	}
+}
+
+func TestSafetyControllerRepeatedBreachesCount(t *testing.T) {
+	m := New("fw", KindForwarder, geo.Pose{Pos: geo.V(0, 0)})
+	sc := NewSafetyController(m)
+	sc.Assess(0, []geo.Vec{geo.V(3, 0)})
+	sc.Assess(10*time.Second, nil) // release
+	sc.Assess(20*time.Second, []geo.Vec{geo.V(2, 0)})
+	if sc.BreachCount() != 2 {
+		t.Fatalf("breaches = %d, want 2", sc.BreachCount())
+	}
+}
+
+func TestSafetyControllerClearKeepsMoving(t *testing.T) {
+	m := New("fw", KindForwarder, geo.Pose{Pos: geo.V(0, 0)})
+	sc := NewSafetyController(m)
+	if d := sc.Assess(0, []geo.Vec{geo.V(50, 50)}); d != FieldClear {
+		t.Fatalf("decision = %v, want clear", d)
+	}
+	if m.Stopped() || m.EffectiveSpeed() != m.MaxSpeedMPS {
+		t.Fatal("clear field affected motion")
+	}
+}
+
+func TestDestination(t *testing.T) {
+	m := New("fw", KindForwarder, geo.Pose{})
+	if _, ok := m.Destination(); ok {
+		t.Fatal("destination on empty path")
+	}
+	m.SetPath([]geo.Vec{geo.V(1, 1), geo.V(2, 2)})
+	d, ok := m.Destination()
+	if !ok || d != geo.V(2, 2) {
+		t.Fatalf("destination = %v/%v", d, ok)
+	}
+}

@@ -1,0 +1,114 @@
+package machine
+
+import (
+	"time"
+
+	"repro/internal/geo"
+)
+
+// FieldDecision is the protective-field assessment outcome.
+type FieldDecision int
+
+// Field decisions, ordered by severity.
+const (
+	FieldClear FieldDecision = iota + 1
+	FieldWarning
+	FieldProtective
+)
+
+// String returns a short decision label.
+func (d FieldDecision) String() string {
+	switch d {
+	case FieldClear:
+		return "clear"
+	case FieldWarning:
+		return "warning"
+	case FieldProtective:
+		return "protective"
+	default:
+		return "unknown"
+	}
+}
+
+// SafetyController implements the machine's protective and warning fields
+// (ISO 13849-style): confirmed person tracks inside the protective radius
+// force a stop; inside the warning radius they force slow mode. Stops are
+// held for HoldTime after the field clears to avoid stop/go chatter.
+type SafetyController struct {
+	// ProtectiveRadiusM forces a stop when a confirmed track is inside.
+	ProtectiveRadiusM float64
+	// WarningRadiusM forces slow mode when a confirmed track is inside.
+	WarningRadiusM float64
+	// HoldTime keeps the stop latched after the last in-field detection.
+	HoldTime time.Duration
+
+	machine      *Machine
+	lastBreach   time.Duration
+	breached     bool
+	breachCount  int
+	decisionsLog []FieldDecision
+}
+
+// NewSafetyController creates a controller for m with forwarder-scale fields
+// (protective 6 m, warning 12 m, 3 s hold).
+func NewSafetyController(m *Machine) *SafetyController {
+	return &SafetyController{
+		ProtectiveRadiusM: 6,
+		WarningRadiusM:    12,
+		HoldTime:          3 * time.Second,
+		machine:           m,
+	}
+}
+
+// Assess evaluates confirmed track positions against the fields at virtual
+// time now and drives the machine's person latches. It returns the decision.
+func (sc *SafetyController) Assess(now time.Duration, confirmed []geo.Vec) FieldDecision {
+	decision := FieldClear
+	pos := sc.machine.Pose.Pos
+	for _, p := range confirmed {
+		d := pos.Dist(p)
+		if d <= sc.ProtectiveRadiusM {
+			decision = FieldProtective
+			break
+		}
+		if d <= sc.WarningRadiusM {
+			decision = FieldWarning
+		}
+	}
+
+	switch decision {
+	case FieldProtective:
+		if !sc.breached {
+			sc.breachCount++
+		}
+		sc.breached = true
+		sc.lastBreach = now
+		sc.machine.SetStop(StopReasonPerson, true)
+		sc.machine.SetSlow(StopReasonPerson, true)
+	case FieldWarning:
+		sc.machine.SetSlow(StopReasonPerson, true)
+		sc.releaseStopIfHeldOut(now)
+	case FieldClear:
+		sc.machine.SetSlow(StopReasonPerson, false)
+		sc.releaseStopIfHeldOut(now)
+	}
+	sc.decisionsLog = append(sc.decisionsLog, decision)
+	return decision
+}
+
+func (sc *SafetyController) releaseStopIfHeldOut(now time.Duration) {
+	if sc.breached && now-sc.lastBreach >= sc.HoldTime {
+		sc.breached = false
+		sc.machine.SetStop(StopReasonPerson, false)
+	}
+}
+
+// BreachCount returns the number of distinct protective-field breaches.
+func (sc *SafetyController) BreachCount() int { return sc.breachCount }
+
+// Decisions returns a copy of the decision history (one entry per Assess).
+func (sc *SafetyController) Decisions() []FieldDecision {
+	out := make([]FieldDecision, len(sc.decisionsLog))
+	copy(out, sc.decisionsLog)
+	return out
+}

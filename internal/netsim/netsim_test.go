@@ -1,0 +1,276 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/simclock"
+)
+
+type net struct {
+	sched  *simclock.Scheduler
+	medium *radio.Medium
+}
+
+// newNet builds a near-lossless medium so link-layer logic is tested in
+// isolation from propagation randomness.
+func newNet(t *testing.T) *net {
+	t.Helper()
+	sched := simclock.New()
+	grid, err := geo.NewGrid(50, 50, 2)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	m := radio.NewMedium(sched, grid, rng.New(1), radio.Config{
+		ShadowSigmaDB:   0.001,
+		SINRThresholdDB: -50,
+	})
+	return &net{sched: sched, medium: m}
+}
+
+func (n *net) adapter(t *testing.T, id radio.NodeID, pos geo.Vec, opts Options) *Adapter {
+	t.Helper()
+	n.medium.AddNode(&radio.Node{
+		ID:         id,
+		Pos:        func() geo.Vec { return pos },
+		Channel:    1,
+		TxPowerDBm: 20,
+		Online:     true,
+	})
+	a, err := NewAdapter(n.medium, id, opts)
+	if err != nil {
+		t.Fatalf("NewAdapter(%s): %v", id, err)
+	}
+	return a
+}
+
+func (n *net) pump(t *testing.T) {
+	t.Helper()
+	if err := n.sched.Run(n.sched.Now() + 1e9); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestAssociateAndData(t *testing.T) {
+	n := newNet(t)
+	a := n.adapter(t, "fw", geo.V(10, 10), Options{})
+	b := n.adapter(t, "coord", geo.V(14, 10), Options{})
+
+	var got []string
+	b.OnMessage = func(from radio.NodeID, payload []byte) {
+		got = append(got, string(from)+":"+string(payload))
+	}
+	if err := a.Associate("coord"); err != nil {
+		t.Fatalf("Associate: %v", err)
+	}
+	n.pump(t)
+	if !a.Associated("coord") || !b.Associated("fw") {
+		t.Fatal("association did not establish on both sides")
+	}
+	if err := a.SendData("coord", []byte("hello")); err != nil {
+		t.Fatalf("SendData: %v", err)
+	}
+	n.pump(t)
+	if len(got) != 1 || got[0] != "fw:hello" {
+		t.Fatalf("messages = %v", got)
+	}
+}
+
+func TestSendWithoutAssociationFails(t *testing.T) {
+	n := newNet(t)
+	a := n.adapter(t, "fw", geo.V(10, 10), Options{})
+	n.adapter(t, "coord", geo.V(14, 10), Options{})
+	if err := a.SendData("coord", []byte("x")); err == nil {
+		t.Fatal("want error sending on non-associated link")
+	}
+}
+
+func TestDataFromUnassociatedPeerRejected(t *testing.T) {
+	n := newNet(t)
+	a := n.adapter(t, "attacker", geo.V(10, 10), Options{})
+	b := n.adapter(t, "coord", geo.V(14, 10), Options{})
+	delivered := false
+	b.OnMessage = func(radio.NodeID, []byte) { delivered = true }
+	// Inject a raw data frame without association.
+	if err := a.InjectRaw(Frame{Kind: FrameData, Src: "attacker", Dst: "coord", Payload: []byte("evil")}); err != nil {
+		t.Fatalf("InjectRaw: %v", err)
+	}
+	n.pump(t)
+	if delivered {
+		t.Fatal("unassociated data frame delivered to upper layer")
+	}
+	if b.Stats().DataRejected != 1 {
+		t.Fatalf("DataRejected = %d, want 1", b.Stats().DataRejected)
+	}
+}
+
+func TestLegitimateDeauth(t *testing.T) {
+	n := newNet(t)
+	a := n.adapter(t, "fw", geo.V(10, 10), Options{})
+	b := n.adapter(t, "coord", geo.V(14, 10), Options{})
+	if err := a.Associate("coord"); err != nil {
+		t.Fatalf("Associate: %v", err)
+	}
+	n.pump(t)
+	if err := a.Deauth("coord"); err != nil {
+		t.Fatalf("Deauth: %v", err)
+	}
+	n.pump(t)
+	if b.Associated("fw") {
+		t.Fatal("peer still associated after deauth")
+	}
+	if a.Associated("coord") {
+		t.Fatal("local side still associated after deauth")
+	}
+}
+
+func TestSpoofedDeauthSucceedsWithoutProtection(t *testing.T) {
+	// The classic attack from the mining survey: no management protection
+	// means any node can forge a deauth and disconnect a machine.
+	n := newNet(t)
+	a := n.adapter(t, "fw", geo.V(10, 10), Options{})
+	b := n.adapter(t, "coord", geo.V(14, 10), Options{})
+	atk := n.adapter(t, "attacker", geo.V(12, 12), Options{})
+
+	if err := a.Associate("coord"); err != nil {
+		t.Fatalf("Associate: %v", err)
+	}
+	n.pump(t)
+
+	deauthSeen := false
+	b.OnDeauth = func(from radio.NodeID, authentic bool) {
+		deauthSeen = true
+		if !authentic {
+			t.Fatal("unprotected deauth should be treated as authentic")
+		}
+	}
+	// Forged: claims Src "fw".
+	if err := atk.InjectRaw(Frame{Kind: FrameDeauth, Src: "fw", Dst: "coord"}); err != nil {
+		t.Fatalf("InjectRaw: %v", err)
+	}
+	n.pump(t)
+	if !deauthSeen {
+		t.Fatal("deauth not processed")
+	}
+	if b.Associated("fw") {
+		t.Fatal("spoofed deauth failed to tear down unprotected link")
+	}
+}
+
+func TestSpoofedDeauthRejectedWithProtection(t *testing.T) {
+	n := newNet(t)
+	key := []byte("site-mgmt-key-0123456789abcdef")
+	a := n.adapter(t, "fw", geo.V(10, 10), Options{ProtectedMgmt: true, MgmtKey: key})
+	b := n.adapter(t, "coord", geo.V(14, 10), Options{ProtectedMgmt: true, MgmtKey: key})
+	atk := n.adapter(t, "attacker", geo.V(12, 12), Options{})
+
+	if err := a.Associate("coord"); err != nil {
+		t.Fatalf("Associate: %v", err)
+	}
+	n.pump(t)
+
+	rejects := 0
+	b.OnMgmtReject = func(Frame) { rejects++ }
+	if err := atk.InjectRaw(Frame{Kind: FrameDeauth, Src: "fw", Dst: "coord"}); err != nil {
+		t.Fatalf("InjectRaw: %v", err)
+	}
+	n.pump(t)
+	if !b.Associated("fw") {
+		t.Fatal("protected link torn down by forged deauth")
+	}
+	if rejects != 1 {
+		t.Fatalf("mgmt rejects = %d, want 1", rejects)
+	}
+	if b.Stats().DeauthsRejected != 1 {
+		t.Fatalf("DeauthsRejected = %d, want 1", b.Stats().DeauthsRejected)
+	}
+
+	// A legitimate protected deauth still works.
+	if err := a.Deauth("coord"); err != nil {
+		t.Fatalf("Deauth: %v", err)
+	}
+	n.pump(t)
+	if b.Associated("fw") {
+		t.Fatal("legitimate protected deauth rejected")
+	}
+}
+
+func TestProtectedMgmtRequiresKey(t *testing.T) {
+	n := newNet(t)
+	n.medium.AddNode(&radio.Node{
+		ID: "x", Pos: func() geo.Vec { return geo.V(0, 0) }, Channel: 1, TxPowerDBm: 20, Online: true,
+	})
+	if _, err := NewAdapter(n.medium, "x", Options{ProtectedMgmt: true}); err == nil {
+		t.Fatal("want error for protected mgmt without key")
+	}
+}
+
+func TestAdapterUnknownNode(t *testing.T) {
+	n := newNet(t)
+	if _, err := NewAdapter(n.medium, "ghost", Options{}); err == nil {
+		t.Fatal("want error for unregistered radio node")
+	}
+}
+
+func TestFramesToOthersIgnored(t *testing.T) {
+	n := newNet(t)
+	a := n.adapter(t, "fw", geo.V(10, 10), Options{})
+	b := n.adapter(t, "coord", geo.V(14, 10), Options{})
+	c := n.adapter(t, "drone", geo.V(12, 12), Options{})
+	_ = c
+	if err := a.Associate("coord"); err != nil {
+		t.Fatalf("Associate: %v", err)
+	}
+	n.pump(t)
+	if err := a.SendData("coord", []byte("m")); err != nil {
+		t.Fatalf("SendData: %v", err)
+	}
+	n.pump(t)
+	// Drone never processed frames addressed to coord.
+	if c.Stats().FramesReceived != 0 {
+		t.Fatalf("drone processed %d frames not addressed to it", c.Stats().FramesReceived)
+	}
+	_ = b
+}
+
+func TestTuneTo(t *testing.T) {
+	n := newNet(t)
+	a := n.adapter(t, "attacker", geo.V(10, 10), Options{})
+	n.adapter(t, "victim", geo.V(14, 10), Options{})
+	victimNode, _ := n.medium.Node("victim")
+	attackerNode, _ := n.medium.Node("attacker")
+	victimNode.Channel = 7
+	if !a.TuneTo("victim") {
+		t.Fatal("TuneTo known peer failed")
+	}
+	if attackerNode.Channel != 7 {
+		t.Fatalf("attacker channel = %d, want 7", attackerNode.Channel)
+	}
+	if a.TuneTo("ghost") {
+		t.Fatal("TuneTo unknown peer succeeded")
+	}
+}
+
+func TestStatsProgression(t *testing.T) {
+	n := newNet(t)
+	a := n.adapter(t, "fw", geo.V(10, 10), Options{})
+	b := n.adapter(t, "coord", geo.V(14, 10), Options{})
+	if err := a.Associate("coord"); err != nil {
+		t.Fatalf("Associate: %v", err)
+	}
+	n.pump(t)
+	for i := 0; i < 10; i++ {
+		if err := a.SendData("coord", []byte{byte(i)}); err != nil {
+			t.Fatalf("SendData: %v", err)
+		}
+	}
+	n.pump(t)
+	if b.Stats().DataDelivered != 10 {
+		t.Fatalf("DataDelivered = %d, want 10", b.Stats().DataDelivered)
+	}
+	if a.Stats().FramesSent < 11 { // assoc req + 10 data
+		t.Fatalf("FramesSent = %d, want >= 11", a.Stats().FramesSent)
+	}
+}

@@ -1,0 +1,212 @@
+package pki
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func newTestCA(t *testing.T) *CA {
+	t.Helper()
+	ca, err := NewCA("worksite-ca", rng.New(1))
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	return ca
+}
+
+func issue(t *testing.T, ca *CA, name string, role Role) Identity {
+	t.Helper()
+	id, err := ca.Issue(name, role, 0, 24*time.Hour)
+	if err != nil {
+		t.Fatalf("Issue(%s): %v", name, err)
+	}
+	return id
+}
+
+func TestIssueAndVerify(t *testing.T) {
+	ca := newTestCA(t)
+	fw := issue(t, ca, "forwarder-1", RoleMachine)
+	v := NewVerifier(ca.Cert(), nil)
+	if err := v.Verify(fw.Cert, time.Hour); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyExpired(t *testing.T) {
+	ca := newTestCA(t)
+	fw := issue(t, ca, "fw", RoleMachine)
+	v := NewVerifier(ca.Cert(), nil)
+	err := v.Verify(fw.Cert, 25*time.Hour)
+	if !errors.Is(err, ErrExpired) {
+		t.Fatalf("err = %v, want ErrExpired", err)
+	}
+}
+
+func TestVerifyNotYetValid(t *testing.T) {
+	ca := newTestCA(t)
+	id, err := ca.Issue("fw", RoleMachine, time.Hour, 2*time.Hour)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	v := NewVerifier(ca.Cert(), nil)
+	if err := v.Verify(id.Cert, 0); !errors.Is(err, ErrNotYetValid) {
+		t.Fatalf("err = %v, want ErrNotYetValid", err)
+	}
+}
+
+func TestVerifyRevoked(t *testing.T) {
+	ca := newTestCA(t)
+	fw := issue(t, ca, "fw", RoleMachine)
+	ca.Revoke(fw.Cert.Serial)
+	v := NewVerifier(ca.Cert(), ca.CRL())
+	if err := v.Verify(fw.Cert, time.Hour); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("err = %v, want ErrRevoked", err)
+	}
+}
+
+func TestVerifyTamperedSignature(t *testing.T) {
+	ca := newTestCA(t)
+	fw := issue(t, ca, "fw", RoleMachine)
+	cert := fw.Cert
+	cert.Subject = "impostor"
+	v := NewVerifier(ca.Cert(), nil)
+	if err := v.Verify(cert, time.Hour); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyWrongIssuer(t *testing.T) {
+	ca := newTestCA(t)
+	other, err := NewCA("rogue-ca", rng.New(2))
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	rogue := issue(t, other, "fw", RoleMachine)
+	v := NewVerifier(ca.Cert(), nil)
+	if err := v.Verify(rogue.Cert, time.Hour); !errors.Is(err, ErrWrongIssuer) {
+		t.Fatalf("err = %v, want ErrWrongIssuer", err)
+	}
+}
+
+func TestVerifyForgedBySameNameCA(t *testing.T) {
+	// A rogue CA that *claims* the trusted CA's name still fails, because the
+	// signature does not verify under the anchor key.
+	ca := newTestCA(t)
+	rogue, err := NewCA("worksite-ca", rng.New(3))
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	forged := issue(t, rogue, "fw", RoleMachine)
+	v := NewVerifier(ca.Cert(), nil)
+	if err := v.Verify(forged.Cert, time.Hour); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestRolePolicy(t *testing.T) {
+	ca := newTestCA(t)
+	drone := issue(t, ca, "drone-1", RoleDrone)
+	v := NewVerifier(ca.Cert(), nil)
+	v.AllowedRoles = map[Role]struct{}{RoleCoordinator: {}}
+	if err := v.Verify(drone.Cert, time.Hour); !errors.Is(err, ErrRoleDenied) {
+		t.Fatalf("err = %v, want ErrRoleDenied", err)
+	}
+	v.AllowedRoles = map[Role]struct{}{RoleDrone: {}}
+	if err := v.Verify(drone.Cert, time.Hour); err != nil {
+		t.Fatalf("Verify with allowed role: %v", err)
+	}
+}
+
+func TestCannotIssueCARole(t *testing.T) {
+	ca := newTestCA(t)
+	if _, err := ca.Issue("evil", RoleCA, 0, time.Hour); err == nil {
+		t.Fatal("want error issuing RoleCA")
+	}
+}
+
+func TestEmptyValidityRejected(t *testing.T) {
+	ca := newTestCA(t)
+	if _, err := ca.Issue("fw", RoleMachine, time.Hour, time.Hour); err == nil {
+		t.Fatal("want error for empty validity window")
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	ca := newTestCA(t)
+	fw := issue(t, ca, "fw", RoleMachine)
+	msg := []byte("emergency stop")
+	sig := fw.Sign(msg)
+	if !VerifySignature(fw.Cert, msg, sig) {
+		t.Fatal("signature round trip failed")
+	}
+	if VerifySignature(fw.Cert, []byte("go faster"), sig) {
+		t.Fatal("signature verified for different message")
+	}
+}
+
+func TestCertificateMarshalRoundTrip(t *testing.T) {
+	ca := newTestCA(t)
+	fw := issue(t, ca, "fw", RoleMachine)
+	data, err := fw.Cert.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := ParseCertificate(data)
+	if err != nil {
+		t.Fatalf("ParseCertificate: %v", err)
+	}
+	v := NewVerifier(ca.Cert(), nil)
+	if err := v.Verify(back, time.Hour); err != nil {
+		t.Fatalf("Verify after round trip: %v", err)
+	}
+	if back.Fingerprint() != fw.Cert.Fingerprint() {
+		t.Fatal("fingerprint changed across marshal round trip")
+	}
+}
+
+func TestSerialsUnique(t *testing.T) {
+	ca := newTestCA(t)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 20; i++ {
+		id := issue(t, ca, "m", RoleMachine)
+		if seen[id.Cert.Serial] {
+			t.Fatalf("duplicate serial %d", id.Cert.Serial)
+		}
+		seen[id.Cert.Serial] = true
+	}
+}
+
+func TestCRLSnapshotIsolated(t *testing.T) {
+	ca := newTestCA(t)
+	fw := issue(t, ca, "fw", RoleMachine)
+	crl := ca.CRL()
+	ca.Revoke(fw.Cert.Serial)
+	if _, ok := crl[fw.Cert.Serial]; ok {
+		t.Fatal("CRL snapshot mutated by later revocation")
+	}
+}
+
+func TestPropertySignatureBindsMessage(t *testing.T) {
+	ca := newTestCA(t)
+	fw := issue(t, ca, "fw", RoleMachine)
+	f := func(msg []byte, flipByte uint8, flipPos uint16) bool {
+		sig := fw.Sign(msg)
+		if !VerifySignature(fw.Cert, msg, sig) {
+			return false
+		}
+		if len(msg) == 0 {
+			return true
+		}
+		mutated := append([]byte(nil), msg...)
+		pos := int(flipPos) % len(mutated)
+		mutated[pos] ^= flipByte | 1 // guarantee at least one bit flips
+		return !VerifySignature(fw.Cert, mutated, sig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Demo", "name", "value")
+	tab.AddRow("alpha", 1)
+	tab.AddRow("beta-longer", 2.5)
+	out := tab.Render()
+	if !strings.Contains(out, "Demo") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, headers, separator, two rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: all data lines equal length or longer than header line.
+	if !strings.Contains(out, "beta-longer") || !strings.Contains(out, "2.500") {
+		t.Fatalf("row content missing:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("plain", "with,comma")
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"with,comma"`) {
+		t.Fatalf("comma cell not quoted: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("header malformed: %s", csv)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{3, "3"},
+		{3.14159, "3.142"},
+		{-2, "-2"},
+		{0.5, "0.500"},
+	}
+	for _, tt := range tests {
+		if got := FormatFloat(tt.in); got != tt.want {
+			t.Fatalf("FormatFloat(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	fig := NewFigure("Miss rate", "occlusion")
+	a := fig.AddSeries("fw_only")
+	b := fig.AddSeries("with_drone")
+	a.Add(0.1, 0.2)
+	a.Add(0.2, 0.4)
+	b.Add(0.1, 0.05)
+	b.Add(0.2, 0.1)
+	out := fig.Render()
+	for _, want := range []string{"Miss rate", "occlusion", "fw_only", "with_drone", "0.400"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptyFigure(t *testing.T) {
+	fig := NewFigure("Empty", "x")
+	if out := fig.Render(); !strings.Contains(out, "Empty") {
+		t.Fatalf("empty figure rendering: %s", out)
+	}
+}
+
+func TestTableRows(t *testing.T) {
+	tab := NewTable("", "a")
+	if tab.Rows() != 0 {
+		t.Fatal("fresh table has rows")
+	}
+	tab.AddRow("x")
+	if tab.Rows() != 1 {
+		t.Fatal("row count wrong")
+	}
+}

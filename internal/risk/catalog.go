@@ -1,0 +1,131 @@
+package risk
+
+import "sort"
+
+// Characteristic is one forestry-domain cybersecurity characteristic from
+// the paper's Table I. The catalog is machine-readable so benches regenerate
+// the table from the model instead of hard-coding prose, and so threats and
+// controls can be cross-referenced per characteristic.
+type Characteristic struct {
+	ID          string `json:"id"`
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// Table I characteristic IDs.
+const (
+	CharRemoteIsolated  = "C1"
+	CharAutonomous      = "C2"
+	CharNaturalDisaster = "C3"
+	CharDataPrivacy     = "C4"
+	CharRemoteMonitor   = "C5"
+	CharThreatProfile   = "C6"
+	CharConfidentiality = "C7"
+	CharHeavyMachinery  = "C8"
+)
+
+// TableI returns the eight forestry-specific characteristics exactly as the
+// paper's Table I identifies them (descriptions abridged to one sentence).
+func TableI() []Characteristic {
+	return []Characteristic{
+		{CharRemoteIsolated, "Remote and Isolated Locations",
+			"Operations occur in remote areas with limited connectivity; secure communication and data protection are hard to ensure."},
+		{CharAutonomous, "Autonomous Machinery",
+			"Drones and robots must be secured against unauthorized access or interference."},
+		{CharNaturalDisaster, "Natural Disasters",
+			"Wildfires, floods and storms demand disaster recovery and continuity planning for cybersecurity."},
+		{CharDataPrivacy, "Data Privacy and Compliance",
+			"Land-ownership and environmental data require privacy protection and regulatory compliance."},
+		{CharRemoteMonitor, "Remote Monitoring and Control",
+			"Remote equipment management systems must be secured against unauthorized access and disruption."},
+		{CharThreatProfile, "Threat Profile",
+			"Forestry organisations need explicit threat profiles covering threats, agents and controls."},
+		{CharConfidentiality, "Confidentiality of Operations",
+			"Some operations (e.g. military sites) require confidential operations and communications."},
+		{CharHeavyMachinery, "Heavy Machinery",
+			"Heavy harvesting machines raise safety risk, and with it the stakes of safety-compromising cyber threats."},
+	}
+}
+
+// CharacteristicCoverage cross-references a characteristic with the threat
+// scenarios touching it and the controls mitigating those threats.
+type CharacteristicCoverage struct {
+	Characteristic Characteristic `json:"characteristic"`
+	ThreatIDs      []string       `json:"threatIds"`
+	ControlIDs     []string       `json:"controlIds"`
+}
+
+// CoverageByCharacteristic builds the Table-I coverage matrix from a model:
+// which threats touch each characteristic and which controls cover those
+// threats.
+func CoverageByCharacteristic(m *Model) []CharacteristicCoverage {
+	controlsByThreat := make(map[string][]string)
+	for _, c := range m.Controls {
+		for _, th := range c.Covers {
+			controlsByThreat[th] = append(controlsByThreat[th], c.ID)
+		}
+	}
+	out := make([]CharacteristicCoverage, 0, 8)
+	for _, ch := range TableI() {
+		cov := CharacteristicCoverage{Characteristic: ch}
+		ctrlSet := make(map[string]bool)
+		for _, t := range m.Threats {
+			for _, cid := range t.Characteristics {
+				if cid != ch.ID {
+					continue
+				}
+				cov.ThreatIDs = append(cov.ThreatIDs, t.ID)
+				for _, ctrl := range controlsByThreat[t.ID] {
+					ctrlSet[ctrl] = true
+				}
+			}
+		}
+		for ctrl := range ctrlSet {
+			cov.ControlIDs = append(cov.ControlIDs, ctrl)
+		}
+		sort.Strings(cov.ThreatIDs)
+		sort.Strings(cov.ControlIDs)
+		out = append(out, cov)
+	}
+	return out
+}
+
+// Knowledge-transfer domains (paper Fig. 3 / Section IV-C).
+const (
+	DomainForestry   = "forestry"
+	DomainMining     = "mining"
+	DomainAutomotive = "automotive"
+)
+
+// TransferReport is the outcome of the Fig. 3 knowledge-transfer step: how
+// many threat scenarios each source domain contributes and whether every
+// Table-I characteristic ends up covered.
+type TransferReport struct {
+	ByDomain       map[string]int           `json:"byDomain"`
+	Coverage       []CharacteristicCoverage `json:"coverage"`
+	UncoveredChars []string                 `json:"uncoveredChars,omitempty"`
+	FullyCovered   bool                     `json:"fullyCovered"`
+}
+
+// TransferKnowledge evaluates the knowledge-transfer claim on a model: the
+// forestry threat profile is assembled from mining and automotive threat
+// literature plus forestry-native scenarios, and must cover all Table-I
+// characteristics.
+func TransferKnowledge(m *Model) TransferReport {
+	rep := TransferReport{ByDomain: make(map[string]int)}
+	for _, t := range m.Threats {
+		d := t.Domain
+		if d == "" {
+			d = DomainForestry
+		}
+		rep.ByDomain[d]++
+	}
+	rep.Coverage = CoverageByCharacteristic(m)
+	for _, cov := range rep.Coverage {
+		if len(cov.ThreatIDs) == 0 {
+			rep.UncoveredChars = append(rep.UncoveredChars, cov.Characteristic.ID)
+		}
+	}
+	rep.FullyCovered = len(rep.UncoveredChars) == 0
+	return rep
+}

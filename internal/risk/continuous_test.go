@@ -1,0 +1,135 @@
+package risk
+
+import (
+	"testing"
+	"time"
+)
+
+func newAssessor(t *testing.T) *ContinuousAssessor {
+	t.Helper()
+	uc := BuildUseCase()
+	a, err := NewContinuousAssessor(&uc.Model, uc.FullControls())
+	if err != nil {
+		t.Fatalf("NewContinuousAssessor: %v", err)
+	}
+	return a
+}
+
+func TestContinuousBaselineMatchesTreatedRegister(t *testing.T) {
+	a := newAssessor(t)
+	cur := a.Current(0)
+	maxRisk := 0
+	for _, r := range cur {
+		if r.RiskValue > maxRisk {
+			maxRisk = r.RiskValue
+		}
+	}
+	if maxRisk >= 4 {
+		t.Fatalf("treated baseline max risk = %d", maxRisk)
+	}
+	if len(a.Escalated(0)) != 0 {
+		t.Fatalf("escalations without observations: %v", a.Escalated(0))
+	}
+}
+
+func TestObservationEscalates(t *testing.T) {
+	a := newAssessor(t)
+	a.ObserveAttack("gnss-spoof", 10*time.Minute)
+	esc := a.Escalated(11 * time.Minute)
+	if len(esc) != 1 || esc[0] != "T-GNSS-SPOOF" {
+		t.Fatalf("escalated = %v, want [T-GNSS-SPOOF]", esc)
+	}
+	for _, r := range a.Current(11 * time.Minute) {
+		if r.Scenario.ID == "T-GNSS-SPOOF" {
+			if r.Feasibility != FeasibilityHigh {
+				t.Fatalf("observed scenario feasibility = %v, want high", r.Feasibility)
+			}
+			if r.RiskValue < 3 {
+				t.Fatalf("observed scenario risk = %d, want escalated", r.RiskValue)
+			}
+		}
+	}
+}
+
+func TestObservationDecays(t *testing.T) {
+	a := newAssessor(t)
+	a.DecayAfter = 5 * time.Minute
+	a.ObserveAttack("deauth-flood", time.Minute)
+	if len(a.Escalated(2*time.Minute)) == 0 {
+		t.Fatal("fresh observation not escalated")
+	}
+	if len(a.Escalated(10*time.Minute)) != 0 {
+		t.Fatalf("stale observation still escalated: %v", a.Escalated(10*time.Minute))
+	}
+}
+
+func TestUnknownClassIgnored(t *testing.T) {
+	a := newAssessor(t)
+	a.ObserveAttack("quantum-hax", time.Minute)
+	if len(a.Escalated(time.Minute)) != 0 {
+		t.Fatal("unknown attack class escalated something")
+	}
+}
+
+func TestObserveAlertTypeMapping(t *testing.T) {
+	a := newAssessor(t)
+	a.ObserveAlertType("gnss-anomaly", time.Minute)
+	found := false
+	for _, id := range a.Escalated(time.Minute) {
+		if id == "T-GNSS-SPOOF" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("gnss-anomaly alert did not escalate the spoofing scenario")
+	}
+	// Unknown alert types are ignored.
+	before := len(a.Escalated(time.Minute))
+	a.ObserveAlertType("made-up-alert", time.Minute)
+	if len(a.Escalated(time.Minute)) != before {
+		t.Fatal("unknown alert type changed the register")
+	}
+}
+
+func TestRecommendModeEscalation(t *testing.T) {
+	a := newAssessor(t)
+	if m := RecommendMode(a.Current(0)); m != ModeNormal {
+		t.Fatalf("baseline mode = %v, want normal", m)
+	}
+	// Observing the injection attack (safety-severe damage) demands a stop.
+	a.ObserveAttack("command-injection", time.Minute)
+	if m := RecommendMode(a.Current(time.Minute)); m != ModeSafeStop {
+		t.Fatalf("mode after observed injection = %v, want safe-stop", m)
+	}
+	// After decay, normal operation resumes.
+	if m := RecommendMode(a.Current(2 * time.Hour)); m != ModeNormal {
+		t.Fatalf("mode after decay = %v, want normal", m)
+	}
+}
+
+func TestRecommendModeRestricted(t *testing.T) {
+	reg := []AssessedRisk{{
+		Damage:    DamageScenario{Impact: Impact{Safety: ImpactMajor}},
+		RiskValue: 3,
+	}}
+	if m := RecommendMode(reg); m != ModeRestricted {
+		t.Fatalf("mode = %v, want restricted", m)
+	}
+	// Non-safety risks never restrict operations.
+	reg[0].Damage.Impact = Impact{Privacy: ImpactSevere}
+	reg[0].RiskValue = 5
+	if m := RecommendMode(reg); m != ModeNormal {
+		t.Fatalf("privacy risk mode = %v, want normal", m)
+	}
+}
+
+func TestContinuousRegisterSorted(t *testing.T) {
+	a := newAssessor(t)
+	a.ObserveAttack("rf-jamming", time.Minute)
+	cur := a.Current(time.Minute)
+	for i := 1; i < len(cur); i++ {
+		if cur[i].RiskValue > cur[i-1].RiskValue {
+			t.Fatal("live register not sorted")
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package risk
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FR is one of the seven foundational requirements of IEC 62443-3-3.
+type FR int
+
+// Foundational requirements.
+const (
+	FR1IAC FR = iota + 1 // identification & authentication control
+	FR2UC                // use control
+	FR3SI                // system integrity
+	FR4DC                // data confidentiality
+	FR5RDF               // restricted data flow
+	FR6TRE               // timely response to events
+	FR7RA                // resource availability
+)
+
+// String returns the short FR label.
+func (f FR) String() string {
+	switch f {
+	case FR1IAC:
+		return "FR1-IAC"
+	case FR2UC:
+		return "FR2-UC"
+	case FR3SI:
+		return "FR3-SI"
+	case FR4DC:
+		return "FR4-DC"
+	case FR5RDF:
+		return "FR5-RDF"
+	case FR6TRE:
+		return "FR6-TRE"
+	case FR7RA:
+		return "FR7-RA"
+	default:
+		return fmt.Sprintf("FR(%d)", int(f))
+	}
+}
+
+// AllFRs lists the foundational requirements in order.
+func AllFRs() []FR {
+	return []FR{FR1IAC, FR2UC, FR3SI, FR4DC, FR5RDF, FR6TRE, FR7RA}
+}
+
+// SL is an IEC 62443 security level (0 = none .. 4 = state-sponsored
+// adversary).
+type SL int
+
+// SLVector assigns a security level per foundational requirement.
+type SLVector map[FR]SL
+
+// NewSLVector builds a vector from the seven levels in FR order.
+func NewSLVector(levels ...SL) SLVector {
+	v := make(SLVector, 7)
+	for i, fr := range AllFRs() {
+		if i < len(levels) {
+			v[fr] = levels[i]
+		}
+	}
+	return v
+}
+
+// Meets reports whether v satisfies target on every FR.
+func (v SLVector) Meets(target SLVector) bool {
+	for _, fr := range AllFRs() {
+		if v[fr] < target[fr] {
+			return false
+		}
+	}
+	return true
+}
+
+// Gap lists the FRs where v falls short of target, with the shortfall.
+func (v SLVector) Gap(target SLVector) []FRGap {
+	var out []FRGap
+	for _, fr := range AllFRs() {
+		if v[fr] < target[fr] {
+			out = append(out, FRGap{FR: fr, Target: target[fr], Achieved: v[fr]})
+		}
+	}
+	return out
+}
+
+// FRGap is one foundational-requirement shortfall.
+type FRGap struct {
+	FR       FR `json:"fr"`
+	Target   SL `json:"target"`
+	Achieved SL `json:"achieved"`
+}
+
+// Zone is an IEC 62443 security zone: a grouping of assets sharing security
+// requirements. The forestry worksite partitions into the machine zone, the
+// coordination zone, and the (hostile) open RF environment.
+type Zone struct {
+	Name     string   `json:"name"`
+	AssetIDs []string `json:"assetIds"`
+	TargetSL SLVector `json:"targetSl"`
+}
+
+// Conduit is a communication path between zones, the unit jamming and
+// spoofing attacks target.
+type Conduit struct {
+	Name     string   `json:"name"`
+	FromZone string   `json:"fromZone"`
+	ToZone   string   `json:"toZone"`
+	TargetSL SLVector `json:"targetSl"`
+}
+
+// SiteArchitecture is the zones-and-conduits decomposition.
+type SiteArchitecture struct {
+	Zones    []Zone    `json:"zones"`
+	Conduits []Conduit `json:"conduits"`
+}
+
+// AchievedSL computes the site-wide achieved SL vector from the applied
+// controls: each FR gets the maximum level any applied control provides
+// (controls compose by covering different FRs; within one FR the strongest
+// mechanism dominates).
+func AchievedSL(model *Model, appliedControls []string) SLVector {
+	achieved := make(SLVector, 7)
+	for _, id := range appliedControls {
+		for _, c := range model.Controls {
+			if c.ID != id {
+				continue
+			}
+			for fr, sl := range c.FRLevels {
+				if sl > achieved[fr] {
+					achieved[fr] = sl
+				}
+			}
+		}
+	}
+	return achieved
+}
+
+// ZoneAssessment is the gap analysis for one zone or conduit.
+type ZoneAssessment struct {
+	Name     string   `json:"name"`
+	Kind     string   `json:"kind"` // zone | conduit
+	Target   SLVector `json:"target"`
+	Achieved SLVector `json:"achieved"`
+	Gaps     []FRGap  `json:"gaps,omitempty"`
+	Met      bool     `json:"met"`
+}
+
+// AssessArchitecture runs the SL gap analysis over all zones and conduits.
+func AssessArchitecture(arch SiteArchitecture, achieved SLVector) []ZoneAssessment {
+	out := make([]ZoneAssessment, 0, len(arch.Zones)+len(arch.Conduits))
+	for _, z := range arch.Zones {
+		gaps := achieved.Gap(z.TargetSL)
+		out = append(out, ZoneAssessment{
+			Name: z.Name, Kind: "zone",
+			Target: z.TargetSL, Achieved: achieved,
+			Gaps: gaps, Met: len(gaps) == 0,
+		})
+	}
+	for _, c := range arch.Conduits {
+		gaps := achieved.Gap(c.TargetSL)
+		out = append(out, ZoneAssessment{
+			Name: c.Name, Kind: "conduit",
+			Target: c.TargetSL, Achieved: achieved,
+			Gaps: gaps, Met: len(gaps) == 0,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

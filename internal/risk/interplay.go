@@ -1,0 +1,113 @@
+package risk
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SecurityInformedPL is the outcome of the IEC TS 63074 interplay analysis
+// for one safety function: its designed performance level, the worst
+// untreated security risk among the assets it depends on, and the resulting
+// security-informed (possibly degraded) performance level.
+//
+// The degradation rule operationalises the technical specification's core
+// statement — "security threats and vulnerabilities could potentially
+// compromise the functional safety of safety-related control systems" — as:
+// an untreated risk value of 4 on a depended asset costs one PL, a value of
+// 5 costs two (the function cannot be claimed better than its most
+// compromising dependency); risks ≤ 3 with treatment recommended cost one
+// level only if left untreated at CAL3+.
+type SecurityInformedPL struct {
+	Function      SafetyFunction `json:"function"`
+	DesignedPL    PL             `json:"designedPl"`
+	WorstRisk     int            `json:"worstRisk"`
+	WorstScenario string         `json:"worstScenario,omitempty"`
+	EffectivePL   PL             `json:"effectivePl"`
+	MeetsRequired bool           `json:"meetsRequired"`
+	Degraded      bool           `json:"degraded"`
+}
+
+// AnalyzeInterplay computes security-informed PLs for all safety functions
+// against a risk register (the output of Model.Assess, before or after
+// treatment).
+func AnalyzeInterplay(functions []SafetyFunction, register []AssessedRisk) ([]SecurityInformedPL, error) {
+	// Index the worst residual risk per asset.
+	worst := make(map[string]AssessedRisk)
+	for _, r := range register {
+		cur, ok := worst[r.Scenario.AssetID]
+		if !ok || r.RiskValue > cur.RiskValue {
+			worst[r.Scenario.AssetID] = r
+		}
+	}
+
+	out := make([]SecurityInformedPL, 0, len(functions))
+	for _, sf := range functions {
+		designed, ok := sf.DesignedPL()
+		if !ok {
+			return nil, fmt.Errorf("interplay: safety function %q has invalid architecture (%s, DC %d)",
+				sf.ID, sf.Category, sf.DC)
+		}
+		res := SecurityInformedPL{
+			Function:    sf,
+			DesignedPL:  designed,
+			EffectivePL: designed,
+		}
+		for _, assetID := range sf.DependsOnAssets {
+			r, ok := worst[assetID]
+			if !ok {
+				continue
+			}
+			if r.RiskValue > res.WorstRisk {
+				res.WorstRisk = r.RiskValue
+				res.WorstScenario = r.Scenario.ID
+			}
+		}
+		res.EffectivePL = degradePL(designed, res.WorstRisk)
+		res.Degraded = res.EffectivePL < designed
+		res.MeetsRequired = res.EffectivePL >= sf.RequiredPL
+		out = append(out, res)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Function.ID < out[j].Function.ID })
+	return out, nil
+}
+
+// degradePL applies the interplay degradation rule.
+func degradePL(designed PL, worstRisk int) PL {
+	drop := 0
+	switch {
+	case worstRisk >= 5:
+		drop = 2
+	case worstRisk >= 4:
+		drop = 1
+	}
+	out := PL(int(designed) - drop)
+	if out < PLa {
+		out = PLa
+	}
+	return out
+}
+
+// InterplaySummary aggregates an interplay analysis for reports.
+type InterplaySummary struct {
+	Functions     int `json:"functions"`
+	Meeting       int `json:"meeting"`
+	Degraded      int `json:"degraded"`
+	FailedByCyber int `json:"failedByCyber"` // would meet PLr but for security risk
+}
+
+// Summarize aggregates an interplay result set.
+func Summarize(results []SecurityInformedPL) InterplaySummary {
+	s := InterplaySummary{Functions: len(results)}
+	for _, r := range results {
+		if r.MeetsRequired {
+			s.Meeting++
+		}
+		if r.Degraded {
+			s.Degraded++
+			if !r.MeetsRequired && r.DesignedPL >= r.Function.RequiredPL {
+				s.FailedByCyber++
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,228 @@
+package risk
+
+import "fmt"
+
+// PL is an ISO 13849-1 performance level for a safety function.
+type PL int
+
+// Performance levels a (lowest) through e (highest).
+const (
+	PLa PL = iota + 1
+	PLb
+	PLc
+	PLd
+	PLe
+)
+
+// String returns the standard lowercase PL letter.
+func (p PL) String() string {
+	switch p {
+	case PLa:
+		return "PL a"
+	case PLb:
+		return "PL b"
+	case PLc:
+		return "PL c"
+	case PLd:
+		return "PL d"
+	case PLe:
+		return "PL e"
+	default:
+		return fmt.Sprintf("PL(%d)", int(p))
+	}
+}
+
+// Risk-graph parameters (ISO 13849-1 Annex A).
+type (
+	// SeverityParam is S1 (slight) or S2 (serious, usually irreversible).
+	SeverityParam int
+	// FrequencyParam is F1 (seldom/short exposure) or F2 (frequent/long).
+	FrequencyParam int
+	// AvoidanceParam is P1 (possible under specific conditions) or P2
+	// (scarcely possible).
+	AvoidanceParam int
+)
+
+// Risk-graph parameter values.
+const (
+	S1 SeverityParam = iota + 1
+	S2
+)
+const (
+	F1 FrequencyParam = iota + 1
+	F2
+)
+const (
+	P1 AvoidanceParam = iota + 1
+	P2
+)
+
+// RequiredPL walks the ISO 13849-1 risk graph.
+func RequiredPL(s SeverityParam, f FrequencyParam, p AvoidanceParam) PL {
+	if s == S1 {
+		if f == F1 {
+			if p == P1 {
+				return PLa
+			}
+			return PLb
+		}
+		if p == P1 {
+			return PLb
+		}
+		return PLc
+	}
+	// S2
+	if f == F1 {
+		if p == P1 {
+			return PLc
+		}
+		return PLd
+	}
+	if p == P1 {
+		return PLd
+	}
+	return PLe
+}
+
+// Category is the ISO 13849-1 designated architecture category.
+type Category int
+
+// Categories.
+const (
+	CatB Category = iota + 1
+	Cat1
+	Cat2
+	Cat3
+	Cat4
+)
+
+// String returns the category label.
+func (c Category) String() string {
+	switch c {
+	case CatB:
+		return "Cat B"
+	case Cat1:
+		return "Cat 1"
+	case Cat2:
+		return "Cat 2"
+	case Cat3:
+		return "Cat 3"
+	case Cat4:
+		return "Cat 4"
+	default:
+		return fmt.Sprintf("Cat(%d)", int(c))
+	}
+}
+
+// MTTFdBand bands the mean time to dangerous failure per channel.
+type MTTFdBand int
+
+// MTTFd bands.
+const (
+	MTTFdLow    MTTFdBand = iota + 1 // 3..10 years
+	MTTFdMedium                      // 10..30 years
+	MTTFdHigh                        // 30..100 years
+)
+
+// DCBand bands the diagnostic coverage.
+type DCBand int
+
+// DC bands.
+const (
+	DCNone   DCBand = iota + 1 // < 60%
+	DCLow                      // 60..90%
+	DCMedium                   // 90..99%
+	DCHigh                     // >= 99%
+)
+
+// AchievedPL follows the simplified ISO 13849-1 §4.5.4 (Figure 5 / Annex K)
+// relationship between category, DC and MTTFd. Invalid combinations (e.g.
+// Cat 3 without diagnostics) return false.
+func AchievedPL(cat Category, mttfd MTTFdBand, dc DCBand) (PL, bool) {
+	switch cat {
+	case CatB:
+		if dc != DCNone {
+			return 0, false
+		}
+		switch mttfd {
+		case MTTFdLow:
+			return PLa, true
+		case MTTFdMedium:
+			return PLb, true
+		default:
+			return PLb, true
+		}
+	case Cat1:
+		if dc != DCNone {
+			return 0, false
+		}
+		if mttfd == MTTFdHigh {
+			return PLc, true
+		}
+		return PLb, true
+	case Cat2:
+		if dc == DCNone {
+			return 0, false
+		}
+		base := PLb
+		if mttfd == MTTFdMedium {
+			base = PLc
+		}
+		if mttfd == MTTFdHigh {
+			base = PLd
+		}
+		if dc == DCLow && base == PLd {
+			base = PLc
+		}
+		return base, true
+	case Cat3:
+		if dc == DCNone {
+			return 0, false
+		}
+		switch mttfd {
+		case MTTFdLow:
+			if dc >= DCMedium {
+				return PLc, true
+			}
+			return PLb, true
+		case MTTFdMedium:
+			if dc >= DCMedium {
+				return PLd, true
+			}
+			return PLc, true
+		default:
+			return PLd, true
+		}
+	case Cat4:
+		if dc < DCHigh {
+			return 0, false
+		}
+		if mttfd == MTTFdHigh {
+			return PLe, true
+		}
+		return PLd, true
+	default:
+		return 0, false
+	}
+}
+
+// SafetyFunction is one safety function of the worksite with its required
+// and designed performance levels, and the cyber assets it depends on — the
+// dependency edge IEC TS 63074's interplay analysis walks.
+type SafetyFunction struct {
+	ID         string    `json:"id"`
+	Name       string    `json:"name"`
+	RequiredPL PL        `json:"requiredPl"`
+	Category   Category  `json:"category"`
+	MTTFd      MTTFdBand `json:"mttfd"`
+	DC         DCBand    `json:"dc"`
+	// DependsOnAssets lists risk-model asset IDs whose compromise undermines
+	// this function.
+	DependsOnAssets []string `json:"dependsOnAssets"`
+}
+
+// DesignedPL returns the PL the function achieves absent security
+// considerations.
+func (sf SafetyFunction) DesignedPL() (PL, bool) {
+	return AchievedPL(sf.Category, sf.MTTFd, sf.DC)
+}

@@ -1,0 +1,356 @@
+package risk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestImpactOverall(t *testing.T) {
+	im := Impact{Safety: ImpactNegligible, Financial: ImpactMajor, Operational: ImpactModerate, Privacy: ImpactNegligible}
+	if im.Overall() != ImpactMajor {
+		t.Fatalf("overall = %v, want major", im.Overall())
+	}
+	if (Impact{}).Overall() != ImpactNegligible {
+		t.Fatal("zero impact must default to negligible")
+	}
+}
+
+func TestAttackPotentialRating(t *testing.T) {
+	tests := []struct {
+		sum  AttackPotential
+		want FeasibilityRating
+	}{
+		{AttackPotential{ElapsedTime: 1, Expertise: 3}, FeasibilityHigh},            // 4
+		{AttackPotential{ElapsedTime: 10, Expertise: 6}, FeasibilityMedium},         // 16
+		{AttackPotential{ElapsedTime: 10, Expertise: 6, Window: 4}, FeasibilityLow}, // 20
+		{AttackPotential{ElapsedTime: 17, Expertise: 8, Knowledge: 7}, FeasibilityVeryLow},
+	}
+	for _, tt := range tests {
+		if got := tt.sum.Rating(); got != tt.want {
+			t.Fatalf("rating(%d) = %v, want %v", tt.sum.Sum(), got, tt.want)
+		}
+	}
+}
+
+func TestRiskValueMatrixProperties(t *testing.T) {
+	// Monotone in both impact and feasibility; bounded 1..5.
+	for i := ImpactNegligible; i <= ImpactSevere; i++ {
+		for f := FeasibilityVeryLow; f <= FeasibilityHigh; f++ {
+			rv := RiskValue(i, f)
+			if rv < 1 || rv > 5 {
+				t.Fatalf("risk value %d out of range", rv)
+			}
+			if f > FeasibilityVeryLow && RiskValue(i, f-1) > rv {
+				t.Fatal("risk not monotone in feasibility")
+			}
+			if i > ImpactNegligible && RiskValue(i-1, f) > rv {
+				t.Fatal("risk not monotone in impact")
+			}
+		}
+	}
+	if RiskValue(ImpactSevere, FeasibilityHigh) != 5 {
+		t.Fatal("severe+high must be 5")
+	}
+	if RiskValue(ImpactNegligible, FeasibilityVeryLow) != 1 {
+		t.Fatal("negligible+very-low must be 1")
+	}
+}
+
+func TestCALDetermination(t *testing.T) {
+	if got := DetermineCAL(ImpactSevere, VectorNetwork); got != CAL4 {
+		t.Fatalf("severe/network = %v, want CAL4", got)
+	}
+	if got := DetermineCAL(ImpactNegligible, VectorPhysical); got != CALNone {
+		t.Fatalf("negligible/physical = %v, want none", got)
+	}
+	// Monotone in vector exposure.
+	for i := ImpactNegligible; i <= ImpactSevere; i++ {
+		for v := VectorLocal; v <= VectorNetwork; v++ {
+			if DetermineCAL(i, v-1) > DetermineCAL(i, v) {
+				t.Fatal("CAL not monotone in vector")
+			}
+		}
+	}
+}
+
+func TestRequiredPLRiskGraph(t *testing.T) {
+	tests := []struct {
+		s    SeverityParam
+		f    FrequencyParam
+		p    AvoidanceParam
+		want PL
+	}{
+		{S1, F1, P1, PLa},
+		{S1, F1, P2, PLb},
+		{S1, F2, P1, PLb},
+		{S1, F2, P2, PLc},
+		{S2, F1, P1, PLc},
+		{S2, F1, P2, PLd},
+		{S2, F2, P1, PLd},
+		{S2, F2, P2, PLe},
+	}
+	for _, tt := range tests {
+		if got := RequiredPL(tt.s, tt.f, tt.p); got != tt.want {
+			t.Fatalf("RequiredPL(%v,%v,%v) = %v, want %v", tt.s, tt.f, tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestAchievedPL(t *testing.T) {
+	if pl, ok := AchievedPL(Cat4, MTTFdHigh, DCHigh); !ok || pl != PLe {
+		t.Fatalf("Cat4/high/high = %v/%v, want PLe", pl, ok)
+	}
+	if _, ok := AchievedPL(Cat3, MTTFdHigh, DCNone); ok {
+		t.Fatal("Cat3 without diagnostics must be invalid")
+	}
+	if _, ok := AchievedPL(CatB, MTTFdHigh, DCHigh); ok {
+		t.Fatal("CatB with diagnostics must be invalid")
+	}
+	if pl, ok := AchievedPL(Cat3, MTTFdHigh, DCMedium); !ok || pl != PLd {
+		t.Fatalf("Cat3/high/medium = %v, want PLd", pl)
+	}
+}
+
+func TestSLVectorGap(t *testing.T) {
+	target := NewSLVector(3, 2, 3, 2, 2, 2, 2)
+	achieved := NewSLVector(3, 2, 2, 2, 0, 2, 2)
+	gaps := achieved.Gap(target)
+	if len(gaps) != 2 {
+		t.Fatalf("gaps = %v, want FR3 and FR5", gaps)
+	}
+	if achieved.Meets(target) {
+		t.Fatal("Meets with gaps")
+	}
+	if !target.Meets(target) {
+		t.Fatal("vector must meet itself")
+	}
+}
+
+func TestUseCaseModelValidates(t *testing.T) {
+	uc := BuildUseCase()
+	if err := uc.Model.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(uc.Model.Threats) < 10 {
+		t.Fatalf("threats = %d, want a substantive model", len(uc.Model.Threats))
+	}
+}
+
+func TestAssessUntreatedHasCriticalRisks(t *testing.T) {
+	uc := BuildUseCase()
+	reg, err := uc.Model.Assess(nil)
+	if err != nil {
+		t.Fatalf("Assess: %v", err)
+	}
+	if len(reg) != len(uc.Model.Threats) {
+		t.Fatalf("register rows = %d, want %d", len(reg), len(uc.Model.Threats))
+	}
+	// Sorted descending.
+	for i := 1; i < len(reg); i++ {
+		if reg[i].RiskValue > reg[i-1].RiskValue {
+			t.Fatal("register not sorted by risk")
+		}
+	}
+	if reg[0].RiskValue < 4 {
+		t.Fatalf("top untreated risk = %d, want >= 4 (injection against safety)", reg[0].RiskValue)
+	}
+}
+
+func TestTreatmentReducesRisk(t *testing.T) {
+	uc := BuildUseCase()
+	before, err := uc.Model.Assess(nil)
+	if err != nil {
+		t.Fatalf("Assess: %v", err)
+	}
+	after, err := uc.Model.Assess(uc.FullControls())
+	if err != nil {
+		t.Fatalf("Assess treated: %v", err)
+	}
+	sum := func(reg []AssessedRisk) int {
+		total := 0
+		for _, r := range reg {
+			total += r.RiskValue
+		}
+		return total
+	}
+	if sum(after) >= sum(before) {
+		t.Fatalf("treatment did not reduce total risk: %d -> %d", sum(before), sum(after))
+	}
+	// Every threat with an implemented control must improve or hold.
+	byID := make(map[string]AssessedRisk)
+	for _, r := range before {
+		byID[r.Scenario.ID] = r
+	}
+	for _, r := range after {
+		if r.RiskValue > byID[r.Scenario.ID].RiskValue {
+			t.Fatalf("threat %s got riskier under treatment", r.Scenario.ID)
+		}
+	}
+}
+
+func TestAssessUnknownControl(t *testing.T) {
+	uc := BuildUseCase()
+	if _, err := uc.Model.Assess([]string{"CTRL-NONEXISTENT"}); err == nil {
+		t.Fatal("want error for unknown control")
+	}
+}
+
+func TestModelValidationCatchesDangles(t *testing.T) {
+	m := Model{
+		Assets:  []Asset{{ID: "A"}},
+		Damages: []DamageScenario{{ID: "D"}},
+		Threats: []ThreatScenario{{ID: "T", AssetID: "GHOST", DamageID: "D"}},
+	}
+	if err := m.Validate(); err == nil {
+		t.Fatal("want error for dangling asset reference")
+	}
+	m.Threats[0].AssetID = "A"
+	m.Threats[0].DamageID = "GHOST"
+	if err := m.Validate(); err == nil {
+		t.Fatal("want error for dangling damage reference")
+	}
+}
+
+func TestAchievedSLAndArchitecture(t *testing.T) {
+	uc := BuildUseCase()
+	none := AchievedSL(&uc.Model, nil)
+	for _, fr := range AllFRs() {
+		if none[fr] != 0 {
+			t.Fatalf("no controls but achieved %v on %v", none[fr], fr)
+		}
+	}
+	full := AchievedSL(&uc.Model, uc.FullControls())
+	if full[FR1IAC] < 3 || full[FR3SI] < 3 {
+		t.Fatalf("full stack SLs = %v, want FR1>=3, FR3>=3", full)
+	}
+	unmet := 0
+	for _, za := range AssessArchitecture(uc.Architecture, full) {
+		if !za.Met {
+			unmet++
+		}
+	}
+	if unmet != 0 {
+		t.Fatalf("%d zones/conduits unmet with full controls", unmet)
+	}
+	unmetBare := 0
+	for _, za := range AssessArchitecture(uc.Architecture, none) {
+		if !za.Met {
+			unmetBare++
+		}
+	}
+	if unmetBare == 0 {
+		t.Fatal("bare site meets all targets (targets too weak)")
+	}
+}
+
+func TestInterplayDegradation(t *testing.T) {
+	uc := BuildUseCase()
+	untreated, err := uc.Model.Assess(nil)
+	if err != nil {
+		t.Fatalf("Assess: %v", err)
+	}
+	res, err := AnalyzeInterplay(uc.SafetyFunctions, untreated)
+	if err != nil {
+		t.Fatalf("AnalyzeInterplay: %v", err)
+	}
+	sum := Summarize(res)
+	if sum.Degraded == 0 {
+		t.Fatal("untreated security risk degraded no safety function")
+	}
+	if sum.FailedByCyber == 0 {
+		t.Fatal("expected at least one function failing PLr purely due to cyber risk")
+	}
+
+	treated, err := uc.Model.Assess(uc.FullControls())
+	if err != nil {
+		t.Fatalf("Assess treated: %v", err)
+	}
+	resT, err := AnalyzeInterplay(uc.SafetyFunctions, treated)
+	if err != nil {
+		t.Fatalf("AnalyzeInterplay treated: %v", err)
+	}
+	sumT := Summarize(resT)
+	if sumT.Meeting <= sum.Meeting {
+		t.Fatalf("treatment did not improve functions meeting PLr: %d -> %d", sum.Meeting, sumT.Meeting)
+	}
+	if sumT.Meeting != len(uc.SafetyFunctions) {
+		t.Fatalf("treated stack: %d/%d functions meet PLr", sumT.Meeting, len(uc.SafetyFunctions))
+	}
+}
+
+func TestInterplayInvalidArchitecture(t *testing.T) {
+	bad := []SafetyFunction{{
+		ID: "SF-BAD", RequiredPL: PLc, Category: Cat3, MTTFd: MTTFdHigh, DC: DCNone,
+	}}
+	if _, err := AnalyzeInterplay(bad, nil); err == nil {
+		t.Fatal("want error for invalid category/DC combination")
+	}
+}
+
+func TestTableIComplete(t *testing.T) {
+	chars := TableI()
+	if len(chars) != 8 {
+		t.Fatalf("Table I rows = %d, want 8", len(chars))
+	}
+	seen := make(map[string]bool)
+	for _, c := range chars {
+		if c.ID == "" || c.Name == "" || c.Description == "" {
+			t.Fatalf("incomplete characteristic %+v", c)
+		}
+		if seen[c.ID] {
+			t.Fatalf("duplicate characteristic %s", c.ID)
+		}
+		seen[c.ID] = true
+	}
+}
+
+func TestKnowledgeTransferCoversTableI(t *testing.T) {
+	uc := BuildUseCase()
+	rep := TransferKnowledge(&uc.Model)
+	if !rep.FullyCovered {
+		t.Fatalf("uncovered characteristics: %v", rep.UncoveredChars)
+	}
+	if rep.ByDomain[DomainMining] == 0 || rep.ByDomain[DomainAutomotive] == 0 {
+		t.Fatalf("transfer domains = %v, want mining and automotive contributions", rep.ByDomain)
+	}
+	if rep.ByDomain[DomainForestry] == 0 {
+		t.Fatal("no forestry-native scenarios")
+	}
+}
+
+func TestCoverageLinksControls(t *testing.T) {
+	uc := BuildUseCase()
+	for _, cov := range CoverageByCharacteristic(&uc.Model) {
+		if len(cov.ThreatIDs) > 0 && len(cov.ControlIDs) == 0 {
+			t.Fatalf("characteristic %s has threats but no controls", cov.Characteristic.ID)
+		}
+	}
+}
+
+func TestPropertyControlsNeverIncreaseFeasibility(t *testing.T) {
+	f := func(et, ex, kn, wi, eq uint8) bool {
+		base := AttackPotential{
+			ElapsedTime: int(et % 20), Expertise: int(ex % 9),
+			Knowledge: int(kn % 12), Window: int(wi % 11), Equipment: int(eq % 10),
+		}
+		withCtrl := base
+		withCtrl.Expertise += 3
+		withCtrl.Equipment += 4
+		return withCtrl.Rating() <= base.Rating()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDegradePLBounded(t *testing.T) {
+	f := func(pl, rv uint8) bool {
+		designed := PL(int(pl%5) + 1)
+		risk := int(rv % 7)
+		out := degradePL(designed, risk)
+		return out >= PLa && out <= designed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

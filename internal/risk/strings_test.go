@@ -1,0 +1,113 @@
+package risk
+
+import "testing"
+
+func TestStringers(t *testing.T) {
+	tests := []struct {
+		got  string
+		want string
+	}{
+		{ImpactNegligible.String(), "negligible"},
+		{ImpactSevere.String(), "severe"},
+		{ImpactLevel(99).String(), "impact(99)"},
+		{FeasibilityVeryLow.String(), "very-low"},
+		{FeasibilityHigh.String(), "high"},
+		{FeasibilityRating(99).String(), "feasibility(99)"},
+		{CALNone.String(), "-"},
+		{CAL3.String(), "CAL3"},
+		{VectorPhysical.String(), "physical"},
+		{VectorNetwork.String(), "network"},
+		{AttackVector(99).String(), "vector(99)"},
+		{TreatmentAccept.String(), "accept"},
+		{TreatmentAvoid.String(), "avoid"},
+		{TreatmentShare.String(), "share"},
+		{Treatment(99).String(), "treatment(99)"},
+		{FR1IAC.String(), "FR1-IAC"},
+		{FR7RA.String(), "FR7-RA"},
+		{FR(99).String(), "FR(99)"},
+		{PLa.String(), "PL a"},
+		{PLe.String(), "PL e"},
+		{PL(99).String(), "PL(99)"},
+		{CatB.String(), "Cat B"},
+		{Cat4.String(), "Cat 4"},
+		{Category(99).String(), "Cat(99)"},
+		{ModeNormal.String(), "normal"},
+		{ModeSafeStop.String(), "safe-stop"},
+		{OperatingMode(99).String(), "unknown"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Fatalf("got %q, want %q", tt.got, tt.want)
+		}
+	}
+}
+
+func TestRecommendTreatmentBands(t *testing.T) {
+	tests := []struct {
+		rv   int
+		want Treatment
+	}{
+		{1, TreatmentAccept},
+		{2, TreatmentReduce},
+		{4, TreatmentReduce},
+		{5, TreatmentAvoid},
+	}
+	for _, tt := range tests {
+		if got := RecommendTreatment(tt.rv); got != tt.want {
+			t.Fatalf("RecommendTreatment(%d) = %v, want %v", tt.rv, got, tt.want)
+		}
+	}
+}
+
+func TestNewSLVectorShortArgs(t *testing.T) {
+	v := NewSLVector(3, 2) // remaining FRs default to 0
+	if v[FR1IAC] != 3 || v[FR2UC] != 2 || v[FR3SI] != 0 {
+		t.Fatalf("vector = %v", v)
+	}
+}
+
+func TestDamageLookup(t *testing.T) {
+	uc := BuildUseCase()
+	if _, ok := uc.Model.Damage("D-COLLISION"); !ok {
+		t.Fatal("known damage not found")
+	}
+	if _, ok := uc.Model.Damage("D-NOPE"); ok {
+		t.Fatal("unknown damage found")
+	}
+}
+
+func TestControlCoversValidation(t *testing.T) {
+	m := Model{
+		Assets:  []Asset{{ID: "A"}},
+		Damages: []DamageScenario{{ID: "D"}},
+		Threats: []ThreatScenario{{ID: "T", AssetID: "A", DamageID: "D"}},
+		Controls: []Control{
+			{ID: "C", Covers: []string{"GHOST"}},
+		},
+	}
+	if err := m.Validate(); err == nil {
+		t.Fatal("control covering unknown threat accepted")
+	}
+}
+
+func TestDuplicateIDsRejected(t *testing.T) {
+	m := Model{Assets: []Asset{{ID: "A"}, {ID: "A"}}}
+	if err := m.Validate(); err == nil {
+		t.Fatal("duplicate asset accepted")
+	}
+	m = Model{Damages: []DamageScenario{{ID: "D"}, {ID: "D"}}}
+	if err := m.Validate(); err == nil {
+		t.Fatal("duplicate damage accepted")
+	}
+	m = Model{
+		Assets:  []Asset{{ID: "A"}},
+		Damages: []DamageScenario{{ID: "D"}},
+		Threats: []ThreatScenario{
+			{ID: "T", AssetID: "A", DamageID: "D"},
+			{ID: "T", AssetID: "A", DamageID: "D"},
+		},
+	}
+	if err := m.Validate(); err == nil {
+		t.Fatal("duplicate threat accepted")
+	}
+}

@@ -1,0 +1,426 @@
+// Package risk implements the paper's core methodological contribution: a
+// combined safety–cybersecurity risk assessment for autonomous forestry
+// machinery, assembled — as Section VI announces for future work — from
+// ISO/SAE 21434 (threat analysis and risk assessment, TARA), IEC 62443
+// (security levels over foundational requirements, zones and conduits),
+// ISO 13849 (performance levels for safety functions), and IEC TS 63074
+// (security-informed degradation of functional safety), plus the
+// forestry-specific characteristic catalog of Table I.
+//
+// The package is pure model + arithmetic: it consumes an asset/threat model
+// (see BuildUseCase for the paper's Fig. 2 use case) and produces risk
+// registers, security-level gap analyses, and security-informed performance
+// levels that the assurance package binds into the certification argument.
+package risk
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ImpactLevel rates damage severity per ISO/SAE 21434 §15 (one rating per
+// impact category).
+type ImpactLevel int
+
+// Impact levels.
+const (
+	ImpactNegligible ImpactLevel = iota + 1
+	ImpactModerate
+	ImpactMajor
+	ImpactSevere
+)
+
+// String returns a short impact label.
+func (l ImpactLevel) String() string {
+	switch l {
+	case ImpactNegligible:
+		return "negligible"
+	case ImpactModerate:
+		return "moderate"
+	case ImpactMajor:
+		return "major"
+	case ImpactSevere:
+		return "severe"
+	default:
+		return fmt.Sprintf("impact(%d)", int(l))
+	}
+}
+
+// Impact rates a damage scenario across the four 21434 categories (S, F, O,
+// P).
+type Impact struct {
+	Safety      ImpactLevel `json:"safety"`
+	Financial   ImpactLevel `json:"financial"`
+	Operational ImpactLevel `json:"operational"`
+	Privacy     ImpactLevel `json:"privacy"`
+}
+
+// Overall returns the controlling (maximum) impact level.
+func (im Impact) Overall() ImpactLevel {
+	max := im.Safety
+	for _, l := range []ImpactLevel{im.Financial, im.Operational, im.Privacy} {
+		if l > max {
+			max = l
+		}
+	}
+	if max == 0 {
+		return ImpactNegligible
+	}
+	return max
+}
+
+// FeasibilityRating per ISO/SAE 21434 §15.8 (attack-potential based).
+type FeasibilityRating int
+
+// Feasibility ratings.
+const (
+	FeasibilityVeryLow FeasibilityRating = iota + 1
+	FeasibilityLow
+	FeasibilityMedium
+	FeasibilityHigh
+)
+
+// String returns a short feasibility label.
+func (r FeasibilityRating) String() string {
+	switch r {
+	case FeasibilityVeryLow:
+		return "very-low"
+	case FeasibilityLow:
+		return "low"
+	case FeasibilityMedium:
+		return "medium"
+	case FeasibilityHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("feasibility(%d)", int(r))
+	}
+}
+
+// AttackPotential holds the five attack-potential factors of ISO/SAE 21434
+// Annex G (ISO 18045 scale): higher values mean the attack is harder.
+type AttackPotential struct {
+	ElapsedTime int `json:"elapsedTime"` // 0,1,4,10,17,19
+	Expertise   int `json:"expertise"`   // 0,3,6,8
+	Knowledge   int `json:"knowledge"`   // 0,3,7,11
+	Window      int `json:"window"`      // 0,1,4,10
+	Equipment   int `json:"equipment"`   // 0,4,7,9
+}
+
+// Sum returns the aggregate attack potential.
+func (p AttackPotential) Sum() int {
+	return p.ElapsedTime + p.Expertise + p.Knowledge + p.Window + p.Equipment
+}
+
+// Rating maps the aggregate attack potential to a feasibility rating using
+// the 21434 Annex G thresholds.
+func (p AttackPotential) Rating() FeasibilityRating {
+	switch s := p.Sum(); {
+	case s < 14:
+		return FeasibilityHigh
+	case s < 20:
+		return FeasibilityMedium
+	case s < 25:
+		return FeasibilityLow
+	default:
+		return FeasibilityVeryLow
+	}
+}
+
+// RiskValue computes the 21434 risk value (1..5) from the controlling impact
+// and the attack feasibility (§15.9 risk matrix).
+func RiskValue(impact ImpactLevel, feas FeasibilityRating) int {
+	// Rows: impact (negligible..severe); cols: feasibility (very-low..high).
+	matrix := [4][4]int{
+		{1, 1, 1, 1}, // negligible
+		{1, 2, 2, 3}, // moderate
+		{1, 2, 3, 4}, // major
+		{2, 3, 4, 5}, // severe
+	}
+	return matrix[int(impact)-1][int(feas)-1]
+}
+
+// CAL is the cybersecurity assurance level (ISO/SAE 21434 Annex E).
+type CAL int
+
+// CALs. CALNone marks scenarios below assurance-level relevance.
+const (
+	CALNone CAL = iota
+	CAL1
+	CAL2
+	CAL3
+	CAL4
+)
+
+// String returns a short CAL label.
+func (c CAL) String() string {
+	if c == CALNone {
+		return "-"
+	}
+	return fmt.Sprintf("CAL%d", int(c))
+}
+
+// DetermineCAL maps controlling impact and attack vector exposure to a CAL
+// (Annex E style: higher impact and more exposed interfaces demand more
+// assurance).
+func DetermineCAL(impact ImpactLevel, vector AttackVector) CAL {
+	// Rows: impact; cols: vector (physical, local, adjacent, network).
+	matrix := [4][4]CAL{
+		{CALNone, CALNone, CAL1, CAL1}, // negligible
+		{CAL1, CAL1, CAL2, CAL2},       // moderate
+		{CAL1, CAL2, CAL3, CAL3},       // major
+		{CAL2, CAL3, CAL3, CAL4},       // severe
+	}
+	return matrix[int(impact)-1][int(vector)-1]
+}
+
+// AttackVector classifies interface exposure (CVSS-style, used by Annex E).
+type AttackVector int
+
+// Attack vectors, from least to most exposed.
+const (
+	VectorPhysical AttackVector = iota + 1
+	VectorLocal
+	VectorAdjacent
+	VectorNetwork
+)
+
+// String returns a short vector label.
+func (v AttackVector) String() string {
+	switch v {
+	case VectorPhysical:
+		return "physical"
+	case VectorLocal:
+		return "local"
+	case VectorAdjacent:
+		return "adjacent"
+	case VectorNetwork:
+		return "network"
+	default:
+		return fmt.Sprintf("vector(%d)", int(v))
+	}
+}
+
+// Treatment is the 21434 §15.10 risk treatment decision.
+type Treatment int
+
+// Treatments.
+const (
+	TreatmentAccept Treatment = iota + 1
+	TreatmentReduce
+	TreatmentShare
+	TreatmentAvoid
+)
+
+// String returns a short treatment label.
+func (t Treatment) String() string {
+	switch t {
+	case TreatmentAccept:
+		return "accept"
+	case TreatmentReduce:
+		return "reduce"
+	case TreatmentShare:
+		return "share"
+	case TreatmentAvoid:
+		return "avoid"
+	default:
+		return fmt.Sprintf("treatment(%d)", int(t))
+	}
+}
+
+// RecommendTreatment applies the default policy: risk 1 accepted, 2-3
+// reduced, 4 reduced, 5 avoided (redesign).
+func RecommendTreatment(riskValue int) Treatment {
+	switch {
+	case riskValue <= 1:
+		return TreatmentAccept
+	case riskValue <= 4:
+		return TreatmentReduce
+	default:
+		return TreatmentAvoid
+	}
+}
+
+// Asset is an item of the worksite with cybersecurity properties worth
+// protecting (21434 §15.3).
+type Asset struct {
+	ID          string `json:"id"`
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// Properties lists the security properties at stake (C, I, A).
+	Properties []string `json:"properties"`
+}
+
+// DamageScenario describes harm from compromising an asset (21434 §15.4).
+type DamageScenario struct {
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	Impact Impact `json:"impact"`
+}
+
+// ThreatScenario links an asset, an attack path, and a damage scenario
+// (21434 §15.5-15.8).
+type ThreatScenario struct {
+	ID       string          `json:"id"`
+	Name     string          `json:"name"`
+	AssetID  string          `json:"assetId"`
+	DamageID string          `json:"damageId"`
+	Vector   AttackVector    `json:"vector"`
+	Baseline AttackPotential `json:"baseline"`
+	// AttackClass names the implemented attack reproducing this scenario
+	// (package attack), binding the risk model to executable evidence.
+	AttackClass string `json:"attackClass,omitempty"`
+	// Characteristics lists Table I characteristic IDs this scenario touches.
+	Characteristics []string `json:"characteristics,omitempty"`
+	// Domain records the knowledge-transfer source (forestry, mining,
+	// automotive) per Fig. 3.
+	Domain string `json:"domain,omitempty"`
+}
+
+// Control is a cybersecurity countermeasure. Applying it increases the
+// attack potential (making attacks harder) and raises achieved 62443 SLs.
+type Control struct {
+	ID          string `json:"id"`
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// PotentialDelta is added to the scenario's attack potential when the
+	// control covers it.
+	PotentialDelta AttackPotential `json:"potentialDelta"`
+	// Covers lists threat scenario IDs mitigated by this control.
+	Covers []string `json:"covers"`
+	// FRLevels records the 62443 foundational-requirement levels this
+	// control contributes (see iec62443.go).
+	FRLevels map[FR]SL `json:"frLevels,omitempty"`
+	// Module names the repository package implementing the control.
+	Module string `json:"module,omitempty"`
+}
+
+// AssessedRisk is one row of the risk register.
+type AssessedRisk struct {
+	Scenario    ThreatScenario    `json:"scenario"`
+	Damage      DamageScenario    `json:"damage"`
+	Feasibility FeasibilityRating `json:"feasibility"`
+	RiskValue   int               `json:"riskValue"`
+	CAL         CAL               `json:"cal"`
+	Treatment   Treatment         `json:"treatment"`
+	// Applied lists control IDs included in this assessment.
+	Applied []string `json:"applied,omitempty"`
+}
+
+// Model is a complete TARA input: assets, damage and threat scenarios, and
+// the control catalog.
+type Model struct {
+	Assets   []Asset          `json:"assets"`
+	Damages  []DamageScenario `json:"damages"`
+	Threats  []ThreatScenario `json:"threats"`
+	Controls []Control        `json:"controls"`
+}
+
+// Validate checks referential integrity of the model.
+func (m *Model) Validate() error {
+	assets := make(map[string]bool, len(m.Assets))
+	for _, a := range m.Assets {
+		if assets[a.ID] {
+			return fmt.Errorf("risk model: duplicate asset %q", a.ID)
+		}
+		assets[a.ID] = true
+	}
+	damages := make(map[string]bool, len(m.Damages))
+	for _, d := range m.Damages {
+		if damages[d.ID] {
+			return fmt.Errorf("risk model: duplicate damage scenario %q", d.ID)
+		}
+		damages[d.ID] = true
+	}
+	threats := make(map[string]bool, len(m.Threats))
+	for _, t := range m.Threats {
+		if threats[t.ID] {
+			return fmt.Errorf("risk model: duplicate threat scenario %q", t.ID)
+		}
+		threats[t.ID] = true
+		if !assets[t.AssetID] {
+			return fmt.Errorf("risk model: threat %q references unknown asset %q", t.ID, t.AssetID)
+		}
+		if !damages[t.DamageID] {
+			return fmt.Errorf("risk model: threat %q references unknown damage %q", t.ID, t.DamageID)
+		}
+	}
+	for _, c := range m.Controls {
+		for _, cov := range c.Covers {
+			if !threats[cov] {
+				return fmt.Errorf("risk model: control %q covers unknown threat %q", c.ID, cov)
+			}
+		}
+	}
+	return nil
+}
+
+// Damage returns the damage scenario with the given ID.
+func (m *Model) Damage(id string) (DamageScenario, bool) {
+	for _, d := range m.Damages {
+		if d.ID == id {
+			return d, true
+		}
+	}
+	return DamageScenario{}, false
+}
+
+// Assess runs the TARA with the given control IDs applied and returns the
+// risk register sorted by descending risk value (ties by scenario ID).
+func (m *Model) Assess(appliedControls []string) ([]AssessedRisk, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	applied := make(map[string]Control, len(appliedControls))
+	for _, id := range appliedControls {
+		found := false
+		for _, c := range m.Controls {
+			if c.ID == id {
+				applied[id] = c
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("risk model: unknown control %q", id)
+		}
+	}
+
+	out := make([]AssessedRisk, 0, len(m.Threats))
+	for _, t := range m.Threats {
+		dmg, _ := m.Damage(t.DamageID)
+		pot := t.Baseline
+		var used []string
+		for _, id := range appliedControls {
+			c := applied[id]
+			for _, cov := range c.Covers {
+				if cov == t.ID {
+					pot.ElapsedTime += c.PotentialDelta.ElapsedTime
+					pot.Expertise += c.PotentialDelta.Expertise
+					pot.Knowledge += c.PotentialDelta.Knowledge
+					pot.Window += c.PotentialDelta.Window
+					pot.Equipment += c.PotentialDelta.Equipment
+					used = append(used, id)
+					break
+				}
+			}
+		}
+		feas := pot.Rating()
+		rv := RiskValue(dmg.Impact.Overall(), feas)
+		out = append(out, AssessedRisk{
+			Scenario:    t,
+			Damage:      dmg,
+			Feasibility: feas,
+			RiskValue:   rv,
+			CAL:         DetermineCAL(dmg.Impact.Overall(), t.Vector),
+			Treatment:   RecommendTreatment(rv),
+			Applied:     used,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RiskValue != out[j].RiskValue {
+			return out[i].RiskValue > out[j].RiskValue
+		}
+		return out[i].Scenario.ID < out[j].Scenario.ID
+	})
+	return out, nil
+}

@@ -1,0 +1,296 @@
+package risk
+
+// This file instantiates the combined risk model for the paper's use case
+// (Section III, Fig. 2): the partially autonomous forestry worksite with an
+// autonomous forwarder, an observation drone, a manual harvester and a site
+// coordinator. Threat scenarios carry their knowledge-transfer source domain
+// (Fig. 3) and the Table-I characteristics they touch; controls name the
+// repository module implementing them, binding the paper's methodology to
+// executable evidence.
+
+// Asset IDs of the use case.
+const (
+	AssetComms      = "A-COMMS"
+	AssetGNSS       = "A-GNSS"
+	AssetPerception = "A-PERCEPTION"
+	AssetDroneFeed  = "A-DRONE-FEED"
+	AssetECU        = "A-ECU"
+	AssetCoordChan  = "A-COORD"
+	AssetOpsData    = "A-OPSDATA"
+)
+
+// Control IDs of the use case.
+const (
+	CtrlPKI        = "CTRL-PKI"
+	CtrlPMF        = "CTRL-PMF"
+	CtrlGNSSGuard  = "CTRL-GNSS-GUARD"
+	CtrlIDS        = "CTRL-IDS"
+	CtrlSecureBoot = "CTRL-SECUREBOOT"
+	CtrlRedundancy = "CTRL-REDUNDANCY"
+	CtrlChanAgile  = "CTRL-CHAN-AGILITY"
+	CtrlDRPlan     = "CTRL-DR-PLAN"
+	CtrlRBAC       = "CTRL-RBAC"
+)
+
+// UseCase bundles the complete combined-assessment input for the AGRARSENSE
+// scenario.
+type UseCase struct {
+	Model           Model
+	Architecture    SiteArchitecture
+	SafetyFunctions []SafetyFunction
+}
+
+// FullControls returns the complete treatment set (the secured pathway).
+func (uc *UseCase) FullControls() []string {
+	ids := make([]string, 0, len(uc.Model.Controls))
+	for _, c := range uc.Model.Controls {
+		ids = append(ids, c.ID)
+	}
+	return ids
+}
+
+// BuildUseCase constructs the paper's use-case risk model.
+func BuildUseCase() *UseCase {
+	model := Model{
+		Assets: []Asset{
+			{AssetComms, "Worksite radio links", "Machine-to-machine and machine-to-coordinator wireless communication", []string{"integrity", "availability", "authenticity"}},
+			{AssetGNSS, "Forwarder GNSS localisation", "Satellite positioning used for autonomous navigation", []string{"integrity", "availability"}},
+			{AssetPerception, "People-detection sensor suite", "Forwarder LiDAR, camera and ultrasonic sensors feeding the protective fields", []string{"integrity", "availability"}},
+			{AssetDroneFeed, "Drone observation feed", "Aerial detections streamed to the forwarder (Fig. 2 collaborative safety)", []string{"integrity", "availability", "authenticity"}},
+			{AssetECU, "Forwarder control unit", "Firmware and control application of the autonomous forwarder", []string{"integrity"}},
+			{AssetCoordChan, "Coordinator command channel", "Pause/resume/clear-stop commands from the site coordinator", []string{"integrity", "authenticity"}},
+			{AssetOpsData, "Operational and land data", "Positions, harvest volumes, land-ownership related records", []string{"confidentiality"}},
+		},
+		Damages: []DamageScenario{
+			{"D-COLLISION", "Machine strikes a person",
+				Impact{Safety: ImpactSevere, Financial: ImpactMajor, Operational: ImpactMajor, Privacy: ImpactNegligible}},
+			{"D-MISNAV", "Machine leaves its corridor into the stand",
+				Impact{Safety: ImpactMajor, Financial: ImpactModerate, Operational: ImpactMajor, Privacy: ImpactNegligible}},
+			{"D-DISRUPT", "Worksite operations halted",
+				Impact{Safety: ImpactNegligible, Financial: ImpactMajor, Operational: ImpactMajor, Privacy: ImpactNegligible}},
+			{"D-TAMPER", "Adversary-controlled machine behaviour",
+				Impact{Safety: ImpactSevere, Financial: ImpactSevere, Operational: ImpactSevere, Privacy: ImpactNegligible}},
+			{"D-LEAK", "Confidential operations or land data exposed",
+				Impact{Safety: ImpactNegligible, Financial: ImpactModerate, Operational: ImpactNegligible, Privacy: ImpactMajor}},
+		},
+		Threats: []ThreatScenario{
+			{
+				ID: "T-JAM", Name: "RF jamming of worksite links",
+				AssetID: AssetComms, DamageID: "D-DISRUPT", Vector: VectorAdjacent,
+				Baseline:    AttackPotential{ElapsedTime: 1, Expertise: 3, Knowledge: 0, Window: 1, Equipment: 4},
+				AttackClass: "rf-jamming", Domain: DomainMining,
+				Characteristics: []string{CharRemoteIsolated, CharRemoteMonitor, CharHeavyMachinery},
+			},
+			{
+				ID: "T-DEAUTH", Name: "Wi-Fi de-authentication flood",
+				AssetID: AssetComms, DamageID: "D-DISRUPT", Vector: VectorAdjacent,
+				Baseline:    AttackPotential{ElapsedTime: 0, Expertise: 3, Knowledge: 3, Window: 1, Equipment: 4},
+				AttackClass: "deauth-flood", Domain: DomainMining,
+				Characteristics: []string{CharAutonomous, CharRemoteMonitor},
+			},
+			{
+				ID: "T-GNSS-SPOOF", Name: "GNSS spoofing of the forwarder",
+				AssetID: AssetGNSS, DamageID: "D-MISNAV", Vector: VectorAdjacent,
+				Baseline:    AttackPotential{ElapsedTime: 4, Expertise: 3, Knowledge: 3, Window: 1, Equipment: 7},
+				AttackClass: "gnss-spoof", Domain: DomainMining,
+				Characteristics: []string{CharRemoteIsolated, CharAutonomous, CharHeavyMachinery},
+			},
+			{
+				ID: "T-GNSS-JAM", Name: "GNSS jamming (loss of fix)",
+				AssetID: AssetGNSS, DamageID: "D-DISRUPT", Vector: VectorAdjacent,
+				Baseline:    AttackPotential{ElapsedTime: 1, Expertise: 3, Knowledge: 0, Window: 1, Equipment: 4},
+				AttackClass: "gnss-jam", Domain: DomainMining,
+				Characteristics: []string{CharRemoteIsolated, CharAutonomous},
+			},
+			{
+				ID: "T-CAM-BLIND", Name: "Camera blinding of people detection",
+				AssetID: AssetPerception, DamageID: "D-COLLISION", Vector: VectorAdjacent,
+				Baseline:    AttackPotential{ElapsedTime: 1, Expertise: 3, Knowledge: 3, Window: 4, Equipment: 4},
+				AttackClass: "camera-blind", Domain: DomainAutomotive,
+				Characteristics: []string{CharAutonomous, CharHeavyMachinery},
+			},
+			{
+				ID: "T-REPLAY", Name: "Replay of captured command traffic",
+				AssetID: AssetCoordChan, DamageID: "D-MISNAV", Vector: VectorAdjacent,
+				Baseline:    AttackPotential{ElapsedTime: 1, Expertise: 3, Knowledge: 3, Window: 1, Equipment: 4},
+				AttackClass: "replay", Domain: DomainAutomotive,
+				Characteristics: []string{CharRemoteMonitor},
+			},
+			{
+				ID: "T-INJECT", Name: "Forged coordinator commands (MITM injection)",
+				AssetID: AssetCoordChan, DamageID: "D-COLLISION", Vector: VectorAdjacent,
+				Baseline:    AttackPotential{ElapsedTime: 1, Expertise: 3, Knowledge: 3, Window: 1, Equipment: 4},
+				AttackClass: "command-injection", Domain: DomainAutomotive,
+				Characteristics: []string{CharAutonomous, CharRemoteMonitor, CharHeavyMachinery},
+			},
+			{
+				ID: "T-FW-TAMPER", Name: "Firmware tampering of the forwarder ECU",
+				AssetID: AssetECU, DamageID: "D-TAMPER", Vector: VectorLocal,
+				Baseline:    AttackPotential{ElapsedTime: 4, Expertise: 6, Knowledge: 3, Window: 4, Equipment: 4},
+				AttackClass: "boot-tamper", Domain: DomainAutomotive,
+				Characteristics: []string{CharAutonomous, CharThreatProfile},
+			},
+			{
+				ID: "T-DRONE-FORGE", Name: "Forged or suppressed drone detections",
+				AssetID: AssetDroneFeed, DamageID: "D-COLLISION", Vector: VectorAdjacent,
+				Baseline:    AttackPotential{ElapsedTime: 4, Expertise: 6, Knowledge: 3, Window: 1, Equipment: 4},
+				AttackClass: "command-injection", Domain: DomainForestry,
+				Characteristics: []string{CharAutonomous, CharHeavyMachinery},
+			},
+			{
+				ID: "T-EAVESDROP", Name: "Passive interception of operational data",
+				AssetID: AssetOpsData, DamageID: "D-LEAK", Vector: VectorAdjacent,
+				Baseline:    AttackPotential{ElapsedTime: 0, Expertise: 0, Knowledge: 0, Window: 1, Equipment: 4},
+				AttackClass: "", Domain: DomainForestry,
+				Characteristics: []string{CharDataPrivacy, CharConfidentiality},
+			},
+			{
+				ID: "T-DISASTER-EXPLOIT", Name: "Attack during disaster-degraded operations",
+				AssetID: AssetComms, DamageID: "D-DISRUPT", Vector: VectorAdjacent,
+				Baseline:    AttackPotential{ElapsedTime: 4, Expertise: 3, Knowledge: 3, Window: 4, Equipment: 4},
+				AttackClass: "", Domain: DomainForestry,
+				Characteristics: []string{CharNaturalDisaster, CharRemoteIsolated},
+			},
+			{
+				ID: "T-INSIDER", Name: "Misused or stolen operator credentials",
+				AssetID: AssetCoordChan, DamageID: "D-DISRUPT", Vector: VectorNetwork,
+				Baseline:    AttackPotential{ElapsedTime: 4, Expertise: 3, Knowledge: 7, Window: 4, Equipment: 0},
+				AttackClass: "", Domain: DomainForestry,
+				Characteristics: []string{CharThreatProfile, CharConfidentiality},
+			},
+		},
+		Controls: []Control{
+			{
+				ID: CtrlPKI, Name: "Worksite PKI with mutually authenticated encrypted channels",
+				Description:    "Ed25519 CA, certificate-based SIGMA handshake, AES-GCM records with replay windows",
+				PotentialDelta: AttackPotential{ElapsedTime: 4, Expertise: 5, Knowledge: 4, Window: 0, Equipment: 5},
+				Covers:         []string{"T-INJECT", "T-REPLAY", "T-EAVESDROP", "T-DRONE-FORGE", "T-INSIDER"},
+				FRLevels:       map[FR]SL{FR1IAC: 3, FR2UC: 2, FR3SI: 3, FR4DC: 3, FR5RDF: 2},
+				Module:         "internal/pki, internal/securechan",
+			},
+			{
+				ID: CtrlPMF, Name: "Protected management frames",
+				Description:    "802.11w-style MIC on de-auth/management frames",
+				PotentialDelta: AttackPotential{ElapsedTime: 4, Expertise: 3, Knowledge: 4, Window: 0, Equipment: 4},
+				Covers:         []string{"T-DEAUTH"},
+				FRLevels:       map[FR]SL{FR1IAC: 2, FR3SI: 2},
+				Module:         "internal/netsim",
+			},
+			{
+				ID: CtrlGNSSGuard, Name: "GNSS plausibility guard with fail-safe",
+				Description:    "Carrier-strength and kinematic plausibility checks; nav-integrity stop latch",
+				PotentialDelta: AttackPotential{ElapsedTime: 4, Expertise: 3, Knowledge: 4, Window: 0, Equipment: 2},
+				Covers:         []string{"T-GNSS-SPOOF", "T-GNSS-JAM"},
+				FRLevels:       map[FR]SL{FR3SI: 2, FR6TRE: 2},
+				Module:         "internal/sensors (GNSSGuard)",
+			},
+			{
+				ID: CtrlIDS, Name: "Worksite intrusion detection system",
+				Description:    "Signature + anomaly detection over link, management and navigation telemetry",
+				PotentialDelta: AttackPotential{ElapsedTime: 1, Expertise: 2, Knowledge: 0, Window: 2, Equipment: 0},
+				Covers:         []string{"T-JAM", "T-DEAUTH", "T-GNSS-SPOOF", "T-REPLAY", "T-INJECT", "T-DISASTER-EXPLOIT"},
+				FRLevels:       map[FR]SL{FR6TRE: 3},
+				Module:         "internal/ids",
+			},
+			{
+				ID: CtrlSecureBoot, Name: "Measured and verified boot with attestation",
+				Description:    "Signed manifests, anti-rollback, PCR measurement, remote attestation quotes",
+				PotentialDelta: AttackPotential{ElapsedTime: 6, Expertise: 2, Knowledge: 4, Window: 4, Equipment: 3},
+				Covers:         []string{"T-FW-TAMPER"},
+				FRLevels:       map[FR]SL{FR3SI: 3},
+				Module:         "internal/secureboot",
+			},
+			{
+				ID: CtrlRedundancy, Name: "Redundant multi-view perception",
+				Description:    "LiDAR + camera + ultrasonic + drone aerial view fused with confirmation voting (Petit et al. redundancy defence)",
+				PotentialDelta: AttackPotential{ElapsedTime: 4, Expertise: 3, Knowledge: 0, Window: 4, Equipment: 4},
+				Covers:         []string{"T-CAM-BLIND", "T-DRONE-FORGE"},
+				FRLevels:       map[FR]SL{FR7RA: 2},
+				Module:         "internal/fusion, internal/sensors",
+			},
+			{
+				ID: CtrlChanAgile, Name: "Channel agility against narrowband jamming",
+				Description:    "Coordinated channel switching raises the cost of narrowband jamming",
+				PotentialDelta: AttackPotential{ElapsedTime: 4, Expertise: 3, Knowledge: 3, Window: 0, Equipment: 3},
+				Covers:         []string{"T-JAM"},
+				FRLevels:       map[FR]SL{FR7RA: 2},
+				Module:         "internal/radio (channel allocation)",
+			},
+			{
+				ID: CtrlDRPlan, Name: "Disaster recovery and continuity plan",
+				Description:    "Pre-planned degraded modes and recovery runbooks for disaster conditions (Table I C3)",
+				PotentialDelta: AttackPotential{ElapsedTime: 4, Expertise: 0, Knowledge: 3, Window: 4, Equipment: 0},
+				Covers:         []string{"T-DISASTER-EXPLOIT"},
+				FRLevels:       map[FR]SL{FR7RA: 2},
+				Module:         "organizational",
+			},
+			{
+				ID: CtrlRBAC, Name: "Role-restricted certificates",
+				Description:    "Role field in worksite certificates: drones cannot issue coordinator commands",
+				PotentialDelta: AttackPotential{ElapsedTime: 4, Expertise: 3, Knowledge: 4, Window: 4, Equipment: 0},
+				Covers:         []string{"T-INSIDER"},
+				FRLevels:       map[FR]SL{FR1IAC: 2, FR2UC: 3},
+				Module:         "internal/pki (roles)",
+			},
+		},
+	}
+
+	arch := SiteArchitecture{
+		Zones: []Zone{
+			{
+				Name:     "Z-MACHINE",
+				AssetIDs: []string{AssetECU, AssetGNSS, AssetPerception},
+				TargetSL: NewSLVector(2, 2, 3, 1, 1, 2, 2),
+			},
+			{
+				Name:     "Z-COORDINATION",
+				AssetIDs: []string{AssetCoordChan, AssetOpsData},
+				TargetSL: NewSLVector(3, 2, 2, 2, 2, 2, 1),
+			},
+			{
+				Name:     "Z-AIR",
+				AssetIDs: []string{AssetDroneFeed},
+				TargetSL: NewSLVector(2, 1, 2, 1, 1, 2, 2),
+			},
+		},
+		Conduits: []Conduit{
+			{
+				Name: "CON-MACHINE-COORD", FromZone: "Z-MACHINE", ToZone: "Z-COORDINATION",
+				TargetSL: NewSLVector(3, 2, 3, 2, 2, 2, 2),
+			},
+			{
+				Name: "CON-AIR-MACHINE", FromZone: "Z-AIR", ToZone: "Z-MACHINE",
+				TargetSL: NewSLVector(2, 1, 3, 1, 1, 2, 2),
+			},
+		},
+	}
+
+	functions := []SafetyFunction{
+		{
+			ID: "SF-PD", Name: "Collaborative people-detection protective stop (Fig. 2)",
+			RequiredPL: RequiredPL(S2, F1, P2), // PL d
+			Category:   Cat3, MTTFd: MTTFdHigh, DC: DCMedium,
+			DependsOnAssets: []string{AssetPerception, AssetDroneFeed, AssetComms},
+		},
+		{
+			ID: "SF-ESTOP", Name: "Remote emergency stop",
+			RequiredPL: RequiredPL(S2, F1, P2), // PL d
+			Category:   Cat3, MTTFd: MTTFdHigh, DC: DCMedium,
+			DependsOnAssets: []string{AssetComms, AssetCoordChan},
+		},
+		{
+			ID: "SF-NAV", Name: "Corridor-keeping navigation integrity",
+			RequiredPL: RequiredPL(S2, F1, P1), // PL c
+			Category:   Cat3, MTTFd: MTTFdMedium, DC: DCMedium,
+			DependsOnAssets: []string{AssetGNSS, AssetECU},
+		},
+		{
+			ID: "SF-WATCHDOG", Name: "Communication-loss fail-safe stop",
+			RequiredPL: RequiredPL(S1, F2, P2), // PL c
+			Category:   Cat3, MTTFd: MTTFdMedium, DC: DCMedium,
+			DependsOnAssets: []string{AssetComms},
+		},
+	}
+
+	return &UseCase{Model: model, Architecture: arch, SafetyFunctions: functions}
+}

@@ -1,0 +1,230 @@
+package secureboot
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/pki"
+	"repro/internal/rng"
+)
+
+type bootFixture struct {
+	vendor  pki.Identity
+	machine pki.Identity
+	chain   Chain
+}
+
+func newBootFixture(t *testing.T) bootFixture {
+	t.Helper()
+	r := rng.New(11)
+	ca, err := pki.NewCA("vendor-root", r.Derive("ca"))
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	vendor, err := ca.Issue("komatsu-signing", pki.RoleOperator, 0, 24*time.Hour)
+	if err != nil {
+		t.Fatalf("Issue vendor: %v", err)
+	}
+	machine, err := ca.Issue("forwarder-ecu", pki.RoleMachine, 0, 24*time.Hour)
+	if err != nil {
+		t.Fatalf("Issue machine: %v", err)
+	}
+	images := []Image{
+		{Name: "bootloader", Version: 3, Content: []byte("BL v3")},
+		{Name: "rtos", Version: 7, Content: []byte("RTOS v7")},
+		{Name: "control-app", Version: 12, Content: []byte("CTRL v12")},
+	}
+	var chain Chain
+	for _, im := range images {
+		chain.Stages = append(chain.Stages, Stage{Image: im, Manifest: SignManifest(vendor, im)})
+	}
+	return bootFixture{vendor: vendor, machine: machine, chain: chain}
+}
+
+func TestCleanBoot(t *testing.T) {
+	f := newBootFixture(t)
+	dev := NewDevice(f.vendor.Cert)
+	rep, err := dev.Boot(f.chain)
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	if !rep.OK {
+		t.Fatal("clean boot reported not OK")
+	}
+	if len(rep.Log) != 3 {
+		t.Fatalf("log entries = %d, want 3", len(rep.Log))
+	}
+	if rep.PCR != GoldenPCR(f.chain) {
+		t.Fatal("PCR does not match golden value")
+	}
+}
+
+func TestTamperedImageHaltsBoot(t *testing.T) {
+	f := newBootFixture(t)
+	dev := NewDevice(f.vendor.Cert)
+	f.chain.Stages[1].Image.Content = []byte("RTOS v7 + implant")
+	rep, err := dev.Boot(f.chain)
+	if !errors.Is(err, ErrDigest) {
+		t.Fatalf("err = %v, want ErrDigest", err)
+	}
+	if rep.OK {
+		t.Fatal("tampered boot reported OK")
+	}
+	if len(rep.Log) != 2 { // bootloader ok, rtos failed, app never reached
+		t.Fatalf("log entries = %d, want 2", len(rep.Log))
+	}
+	if rep.Log[1].OK {
+		t.Fatal("failed stage marked OK in log")
+	}
+}
+
+func TestForgedManifestRejected(t *testing.T) {
+	f := newBootFixture(t)
+	r := rng.New(99)
+	rogueCA, err := pki.NewCA("rogue", r)
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	rogue, err := rogueCA.Issue("rogue-signer", pki.RoleOperator, 0, time.Hour)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	evil := Image{Name: "rtos", Version: 8, Content: []byte("evil rtos")}
+	f.chain.Stages[1] = Stage{Image: evil, Manifest: SignManifest(rogue, evil)}
+	dev := NewDevice(f.vendor.Cert)
+	if _, err := dev.Boot(f.chain); !errors.Is(err, ErrManifestSig) {
+		t.Fatalf("err = %v, want ErrManifestSig", err)
+	}
+}
+
+func TestRollbackRejected(t *testing.T) {
+	f := newBootFixture(t)
+	dev := NewDevice(f.vendor.Cert)
+	if _, err := dev.Boot(f.chain); err != nil {
+		t.Fatalf("first boot: %v", err)
+	}
+	// Attacker installs an older, signed (vulnerable) rtos.
+	old := Image{Name: "rtos", Version: 5, Content: []byte("RTOS v5 vulnerable")}
+	f.chain.Stages[1] = Stage{Image: old, Manifest: SignManifest(f.vendor, old)}
+	if _, err := dev.Boot(f.chain); !errors.Is(err, ErrRollback) {
+		t.Fatalf("err = %v, want ErrRollback", err)
+	}
+}
+
+func TestUpgradeAdvancesFloor(t *testing.T) {
+	f := newBootFixture(t)
+	dev := NewDevice(f.vendor.Cert)
+	if _, err := dev.Boot(f.chain); err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	if dev.MinVersions["rtos"] != 7 {
+		t.Fatalf("rtos floor = %d, want 7", dev.MinVersions["rtos"])
+	}
+	up := Image{Name: "rtos", Version: 9, Content: []byte("RTOS v9")}
+	f.chain.Stages[1] = Stage{Image: up, Manifest: SignManifest(f.vendor, up)}
+	if _, err := dev.Boot(f.chain); err != nil {
+		t.Fatalf("upgrade boot: %v", err)
+	}
+	if dev.MinVersions["rtos"] != 9 {
+		t.Fatalf("rtos floor = %d, want 9", dev.MinVersions["rtos"])
+	}
+}
+
+func TestManifestImageMismatch(t *testing.T) {
+	f := newBootFixture(t)
+	// Swap manifests between stages 0 and 1.
+	f.chain.Stages[0].Manifest, f.chain.Stages[1].Manifest =
+		f.chain.Stages[1].Manifest, f.chain.Stages[0].Manifest
+	dev := NewDevice(f.vendor.Cert)
+	if _, err := dev.Boot(f.chain); !errors.Is(err, ErrWrongImage) {
+		t.Fatalf("err = %v, want ErrWrongImage", err)
+	}
+}
+
+func TestAttestationRoundTrip(t *testing.T) {
+	f := newBootFixture(t)
+	dev := NewDevice(f.vendor.Cert)
+	rep, err := dev.Boot(f.chain)
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	nonce := []byte("fresh-challenge-123")
+	q := Attest(f.machine, rep, nonce)
+	if err := VerifyQuote(f.machine.Cert, q, GoldenPCR(f.chain), nonce); err != nil {
+		t.Fatalf("VerifyQuote: %v", err)
+	}
+}
+
+func TestAttestationDetectsTamperedChain(t *testing.T) {
+	f := newBootFixture(t)
+	golden := GoldenPCR(f.chain)
+	// A device that booted a modified-but-signed newer image has a different
+	// PCR and must fail attestation against the golden value.
+	up := Image{Name: "control-app", Version: 13, Content: []byte("CTRL v13 unapproved build")}
+	f.chain.Stages[2] = Stage{Image: up, Manifest: SignManifest(f.vendor, up)}
+	dev := NewDevice(f.vendor.Cert)
+	rep, err := dev.Boot(f.chain)
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	nonce := []byte("n1")
+	q := Attest(f.machine, rep, nonce)
+	if err := VerifyQuote(f.machine.Cert, q, golden, nonce); !errors.Is(err, ErrQuoteInvalid) {
+		t.Fatalf("err = %v, want ErrQuoteInvalid", err)
+	}
+}
+
+func TestAttestationNonceFreshness(t *testing.T) {
+	f := newBootFixture(t)
+	dev := NewDevice(f.vendor.Cert)
+	rep, err := dev.Boot(f.chain)
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	q := Attest(f.machine, rep, []byte("old-nonce"))
+	err = VerifyQuote(f.machine.Cert, q, GoldenPCR(f.chain), []byte("new-nonce"))
+	if !errors.Is(err, ErrQuoteInvalid) {
+		t.Fatalf("replayed quote err = %v, want ErrQuoteInvalid", err)
+	}
+}
+
+func TestAttestationWrongSigner(t *testing.T) {
+	f := newBootFixture(t)
+	dev := NewDevice(f.vendor.Cert)
+	rep, err := dev.Boot(f.chain)
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	nonce := []byte("n")
+	q := Attest(f.machine, rep, nonce)
+	// Verify against the vendor cert instead of the machine cert.
+	if err := VerifyQuote(f.vendor.Cert, q, GoldenPCR(f.chain), nonce); !errors.Is(err, ErrQuoteInvalid) {
+		t.Fatalf("err = %v, want ErrQuoteInvalid", err)
+	}
+}
+
+func TestPropertyDigestBindsContent(t *testing.T) {
+	f := func(a, b []byte) bool {
+		imA := Image{Name: "x", Version: 1, Content: a}
+		imB := Image{Name: "x", Version: 1, Content: b}
+		sameContent := string(a) == string(b)
+		sameDigest := imA.Digest() == imB.Digest()
+		return sameContent == sameDigest
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPCRSensitiveToOrder(t *testing.T) {
+	imA := Image{Name: "a", Version: 1, Content: []byte("a")}
+	imB := Image{Name: "b", Version: 1, Content: []byte("b")}
+	mkChain := func(first, second Image) Chain {
+		return Chain{Stages: []Stage{{Image: first}, {Image: second}}}
+	}
+	if GoldenPCR(mkChain(imA, imB)) == GoldenPCR(mkChain(imB, imA)) {
+		t.Fatal("PCR must be order-sensitive")
+	}
+}

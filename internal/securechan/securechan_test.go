@@ -1,0 +1,338 @@
+package securechan
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/pki"
+	"repro/internal/rng"
+)
+
+type pair struct {
+	init, resp *Channel
+	ca         *pki.CA
+}
+
+func handshakePair(t *testing.T, opts Options) pair {
+	t.Helper()
+	r := rng.New(42)
+	ca, err := pki.NewCA("site-ca", r.Derive("ca"))
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	a, err := ca.Issue("forwarder", pki.RoleMachine, 0, time.Hour)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	b, err := ca.Issue("coordinator", pki.RoleCoordinator, 0, time.Hour)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	v := pki.NewVerifier(ca.Cert(), nil)
+	optsA, optsB := opts, opts
+	optsA.Rand = r.Derive("a")
+	optsB.Rand = r.Derive("b")
+	p := pair{
+		init: NewInitiator(a, v, optsA),
+		resp: NewResponder(b, v, optsB),
+		ca:   ca,
+	}
+	runHandshake(t, p)
+	return p
+}
+
+func runHandshake(t *testing.T, p pair) {
+	t.Helper()
+	m1, err := p.init.Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	m2, err := p.resp.HandleHandshake(m1)
+	if err != nil {
+		t.Fatalf("responder HandleHandshake: %v", err)
+	}
+	m3, err := p.init.HandleHandshake(m2)
+	if err != nil {
+		t.Fatalf("initiator HandleHandshake: %v", err)
+	}
+	if _, err := p.resp.HandleHandshake(m3); err != nil {
+		t.Fatalf("responder finish: %v", err)
+	}
+	if !p.init.Established() || !p.resp.Established() {
+		t.Fatal("channel not established after handshake")
+	}
+}
+
+func TestHandshakeAndRoundTrip(t *testing.T) {
+	p := handshakePair(t, Options{})
+	msg := []byte("position report: 12.5, 48.2")
+	rec, err := p.init.Seal(msg)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	got, err := p.resp.Open(rec)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("round trip = %q, want %q", got, msg)
+	}
+	// Reverse direction.
+	rec2, err := p.resp.Seal([]byte("ack"))
+	if err != nil {
+		t.Fatalf("Seal reverse: %v", err)
+	}
+	got2, err := p.init.Open(rec2)
+	if err != nil {
+		t.Fatalf("Open reverse: %v", err)
+	}
+	if string(got2) != "ack" {
+		t.Fatalf("reverse = %q", got2)
+	}
+}
+
+func TestPeerCertExposed(t *testing.T) {
+	p := handshakePair(t, Options{})
+	cert, ok := p.init.PeerCert()
+	if !ok || cert.Subject != "coordinator" {
+		t.Fatalf("initiator peer = %v/%v, want coordinator", cert.Subject, ok)
+	}
+	cert, ok = p.resp.PeerCert()
+	if !ok || cert.Subject != "forwarder" {
+		t.Fatalf("responder peer = %v/%v, want forwarder", cert.Subject, ok)
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	p := handshakePair(t, Options{})
+	rec, err := p.init.Seal([]byte("cmd"))
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if _, err := p.resp.Open(rec); err != nil {
+		t.Fatalf("first Open: %v", err)
+	}
+	if _, err := p.resp.Open(rec); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replay err = %v, want ErrReplay", err)
+	}
+	if p.resp.Stats().ReplaysRejected != 1 {
+		t.Fatalf("ReplaysRejected = %d, want 1", p.resp.Stats().ReplaysRejected)
+	}
+}
+
+func TestDropsToleratedReplaysNot(t *testing.T) {
+	p := handshakePair(t, Options{})
+	var recs [][]byte
+	for i := 0; i < 5; i++ {
+		rec, err := p.init.Seal([]byte{byte(i)})
+		if err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+		recs = append(recs, rec)
+	}
+	// Deliver 0, skip 1-2 (lost), deliver 3; then replay 1 (stale).
+	if _, err := p.resp.Open(recs[0]); err != nil {
+		t.Fatalf("Open 0: %v", err)
+	}
+	if _, err := p.resp.Open(recs[3]); err != nil {
+		t.Fatalf("Open 3 after drops: %v", err)
+	}
+	if _, err := p.resp.Open(recs[1]); !errors.Is(err, ErrReplay) {
+		t.Fatalf("stale record err = %v, want ErrReplay", err)
+	}
+}
+
+func TestTamperedRecordFails(t *testing.T) {
+	p := handshakePair(t, Options{})
+	rec, err := p.init.Seal([]byte("stop"))
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	rec[len(rec)-1] ^= 0xff
+	if _, err := p.resp.Open(rec); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("tamper err = %v, want ErrDecrypt", err)
+	}
+	if p.resp.Stats().DecryptFailures != 1 {
+		t.Fatalf("DecryptFailures = %d, want 1", p.resp.Stats().DecryptFailures)
+	}
+}
+
+func TestSealBeforeEstablished(t *testing.T) {
+	r := rng.New(1)
+	ca, _ := pki.NewCA("ca", r.Derive("ca"))
+	id, _ := ca.Issue("m", pki.RoleMachine, 0, time.Hour)
+	c := NewInitiator(id, pki.NewVerifier(ca.Cert(), nil), Options{Rand: r})
+	if _, err := c.Seal([]byte("x")); !errors.Is(err, ErrNotEstablished) {
+		t.Fatalf("err = %v, want ErrNotEstablished", err)
+	}
+	if _, err := c.Open([]byte("xxxxxxxxxx")); !errors.Is(err, ErrNotEstablished) {
+		t.Fatalf("err = %v, want ErrNotEstablished", err)
+	}
+}
+
+func TestUntrustedPeerRejected(t *testing.T) {
+	r := rng.New(7)
+	ca, _ := pki.NewCA("site-ca", r.Derive("ca"))
+	rogueCA, _ := pki.NewCA("rogue", r.Derive("rogue"))
+	legit, _ := ca.Issue("coordinator", pki.RoleCoordinator, 0, time.Hour)
+	impostor, _ := rogueCA.Issue("forwarder", pki.RoleMachine, 0, time.Hour)
+
+	v := pki.NewVerifier(ca.Cert(), nil)
+	init := NewInitiator(impostor, pki.NewVerifier(rogueCA.Cert(), nil), Options{Rand: r.Derive("a")})
+	resp := NewResponder(legit, v, Options{Rand: r.Derive("b")})
+
+	m1, err := init.Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if _, err := resp.HandleHandshake(m1); !errors.Is(err, ErrPeerAuth) {
+		t.Fatalf("err = %v, want ErrPeerAuth", err)
+	}
+}
+
+func TestRevokedPeerRejected(t *testing.T) {
+	r := rng.New(9)
+	ca, _ := pki.NewCA("site-ca", r.Derive("ca"))
+	a, _ := ca.Issue("forwarder", pki.RoleMachine, 0, time.Hour)
+	b, _ := ca.Issue("coordinator", pki.RoleCoordinator, 0, time.Hour)
+	ca.Revoke(a.Cert.Serial)
+	v := pki.NewVerifier(ca.Cert(), ca.CRL())
+
+	init := NewInitiator(a, v, Options{Rand: r.Derive("a")})
+	resp := NewResponder(b, v, Options{Rand: r.Derive("b")})
+	m1, err := init.Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if _, err := resp.HandleHandshake(m1); !errors.Is(err, ErrPeerAuth) {
+		t.Fatalf("err = %v, want ErrPeerAuth", err)
+	}
+}
+
+func TestMITMSubstitutedEphemeralFails(t *testing.T) {
+	// A classic MITM swaps the server hello for its own. Without a matching
+	// transcript signature from a *trusted* certificate, the initiator must
+	// reject it. We simulate by handing the initiator a server hello from a
+	// different handshake (signature over a different transcript).
+	r := rng.New(13)
+	ca, _ := pki.NewCA("site-ca", r.Derive("ca"))
+	a, _ := ca.Issue("forwarder", pki.RoleMachine, 0, time.Hour)
+	b, _ := ca.Issue("coordinator", pki.RoleCoordinator, 0, time.Hour)
+	v := pki.NewVerifier(ca.Cert(), nil)
+
+	init1 := NewInitiator(a, v, Options{Rand: r.Derive("a1")})
+	resp1 := NewResponder(b, v, Options{Rand: r.Derive("b1")})
+	init2 := NewInitiator(a, v, Options{Rand: r.Derive("a2")})
+	resp2 := NewResponder(b, v, Options{Rand: r.Derive("b2")})
+
+	m1a, _ := init1.Start()
+	m1b, _ := init2.Start()
+	if _, err := resp1.HandleHandshake(m1a); err != nil {
+		t.Fatalf("resp1: %v", err)
+	}
+	m2b, err := resp2.HandleHandshake(m1b)
+	if err != nil {
+		t.Fatalf("resp2: %v", err)
+	}
+	// Cross-feed: init1 receives the hello meant for init2's session.
+	if _, err := init1.HandleHandshake(m2b); !errors.Is(err, ErrPeerAuth) {
+		t.Fatalf("cross-session hello err = %v, want ErrPeerAuth", err)
+	}
+}
+
+func TestRekeyRatchet(t *testing.T) {
+	p := handshakePair(t, Options{RekeyInterval: 4})
+	for i := 0; i < 20; i++ {
+		rec, err := p.init.Seal([]byte{byte(i)})
+		if err != nil {
+			t.Fatalf("Seal %d: %v", i, err)
+		}
+		got, err := p.resp.Open(rec)
+		if err != nil {
+			t.Fatalf("Open %d: %v", i, err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("payload %d corrupted", i)
+		}
+	}
+	if p.init.Stats().Rekeys == 0 {
+		t.Fatal("expected rekeys with interval 4 over 20 records")
+	}
+}
+
+func TestRekeyAcrossDroppedBoundary(t *testing.T) {
+	p := handshakePair(t, Options{RekeyInterval: 4})
+	var recs [][]byte
+	for i := 0; i < 12; i++ {
+		rec, err := p.init.Seal([]byte{byte(i)})
+		if err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+		recs = append(recs, rec)
+	}
+	// Drop everything up to record 9 (two epoch boundaries crossed silently).
+	got, err := p.resp.Open(recs[9])
+	if err != nil {
+		t.Fatalf("Open across epochs: %v", err)
+	}
+	if got[0] != 9 {
+		t.Fatalf("payload = %d, want 9", got[0])
+	}
+}
+
+func TestHandshakeStateErrors(t *testing.T) {
+	p := handshakePair(t, Options{})
+	// Further handshake messages on an established channel must fail.
+	if _, err := p.init.HandleHandshake([]byte("{}")); !errors.Is(err, ErrHandshake) {
+		t.Fatalf("err = %v, want ErrHandshake", err)
+	}
+	// Starting a responder must fail.
+	if _, err := p.resp.Start(); !errors.Is(err, ErrHandshake) {
+		t.Fatalf("responder Start err = %v, want ErrHandshake", err)
+	}
+}
+
+func TestGarbageHandshakeMessage(t *testing.T) {
+	r := rng.New(21)
+	ca, _ := pki.NewCA("ca", r.Derive("ca"))
+	b, _ := ca.Issue("coordinator", pki.RoleCoordinator, 0, time.Hour)
+	resp := NewResponder(b, pki.NewVerifier(ca.Cert(), nil), Options{Rand: r})
+	if _, err := resp.HandleHandshake([]byte("not json")); !errors.Is(err, ErrHandshake) {
+		t.Fatalf("err = %v, want ErrHandshake", err)
+	}
+}
+
+func TestPropertySealOpenRoundTrip(t *testing.T) {
+	p := handshakePair(t, Options{})
+	f := func(payload []byte) bool {
+		rec, err := p.init.Seal(payload)
+		if err != nil {
+			return false
+		}
+		got, err := p.resp.Open(rec)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHKDFLength(t *testing.T) {
+	for _, n := range []int{1, 16, 32, 33, 64, 100} {
+		out := hkdf([]byte("secret"), []byte("salt"), []byte("info"), n)
+		if len(out) != n {
+			t.Fatalf("hkdf length = %d, want %d", len(out), n)
+		}
+	}
+	a := hkdf([]byte("s"), []byte("x"), []byte("i"), 32)
+	b := hkdf([]byte("s"), []byte("y"), []byte("i"), 32)
+	if bytes.Equal(a, b) {
+		t.Fatal("hkdf ignores salt")
+	}
+}

@@ -1,0 +1,305 @@
+package sensors
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+func testGrid(t *testing.T) *geo.Grid {
+	t.Helper()
+	g, err := geo.NewGrid(100, 100, 1)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	return g
+}
+
+func TestGNSSNominal(t *testing.T) {
+	g := NewGNSS(rng.New(1))
+	truth := geo.V(50, 50)
+	var errSum float64
+	n := 500
+	for i := 0; i < n; i++ {
+		r := g.Sample(truth)
+		if !r.HasFix {
+			t.Fatal("nominal GNSS lost fix")
+		}
+		if r.Mode != GNSSNominal {
+			t.Fatalf("mode = %v", r.Mode)
+		}
+		errSum += PositionError(r, truth)
+	}
+	mean := errSum / float64(n)
+	if mean < 0.5 || mean > 3 {
+		t.Fatalf("mean position error = %.2f m, want ~1.5", mean)
+	}
+}
+
+func TestGNSSJammed(t *testing.T) {
+	g := NewGNSS(rng.New(2))
+	g.Mode = GNSSJammed
+	r := g.Sample(geo.V(10, 10))
+	if r.HasFix {
+		t.Fatal("jammed GNSS produced a fix")
+	}
+	if !math.IsInf(PositionError(r, geo.V(10, 10)), 1) {
+		t.Fatal("jammed position error should be +Inf")
+	}
+}
+
+func TestGNSSSpoofedDisplacement(t *testing.T) {
+	g := NewGNSS(rng.New(3))
+	g.Mode = GNSSSpoofed
+	g.SpoofOffset = geo.V(100, 0)
+	truth := geo.V(50, 50)
+	r := g.Sample(truth)
+	if !r.HasFix {
+		t.Fatal("spoofed GNSS must report a confident fix")
+	}
+	if err := PositionError(r, truth); err < 90 {
+		t.Fatalf("spoofed error = %.1f m, want ~100", err)
+	}
+	if r.CN0DBHz < 48 {
+		t.Fatalf("spoofed C/N0 = %.1f, want suspiciously high", r.CN0DBHz)
+	}
+}
+
+func TestGNSSGuardFlagsSpoof(t *testing.T) {
+	g := NewGNSS(rng.New(4))
+	guard := NewGNSSGuard()
+	truth := geo.V(50, 50)
+	// Establish a baseline with nominal fixes.
+	for i := 0; i < 5; i++ {
+		v := guard.Check(g.Sample(truth), float64(i))
+		if !v.Trustworthy {
+			t.Fatalf("nominal reading flagged: %s", v.Reason)
+		}
+	}
+	g.Mode = GNSSSpoofed
+	g.SpoofOffset = geo.V(200, 0)
+	v := guard.Check(g.Sample(truth), 5)
+	if v.Trustworthy {
+		t.Fatal("guard accepted a spoofed fix")
+	}
+}
+
+func TestGNSSGuardFlagsJump(t *testing.T) {
+	guard := NewGNSSGuard()
+	r1 := GNSSReading{HasFix: true, Pos: geo.V(0, 0), CN0DBHz: 40}
+	r2 := GNSSReading{HasFix: true, Pos: geo.V(500, 0), CN0DBHz: 40}
+	if v := guard.Check(r1, 0); !v.Trustworthy {
+		t.Fatalf("baseline flagged: %s", v.Reason)
+	}
+	if v := guard.Check(r2, 1); v.Trustworthy {
+		t.Fatal("guard accepted 500 m/s jump")
+	}
+}
+
+func TestGNSSGuardNoFix(t *testing.T) {
+	guard := NewGNSSGuard()
+	if v := guard.Check(GNSSReading{HasFix: false}, 0); v.Trustworthy {
+		t.Fatal("guard trusted a no-fix reading")
+	}
+}
+
+func TestLidarDetectsInOpen(t *testing.T) {
+	grid := testGrid(t)
+	l := NewLidar(rng.New(5), grid)
+	targets := []Target{{ID: "w1", Pos: geo.V(60, 50)}}
+	hits := 0
+	for i := 0; i < 200; i++ {
+		if len(l.Scan(geo.V(50, 50), targets, Clear())) > 0 {
+			hits++
+		}
+	}
+	if hits < 170 {
+		t.Fatalf("open-field lidar detection = %d/200, want >= 170", hits)
+	}
+}
+
+func TestLidarBlockedByTrees(t *testing.T) {
+	grid := testGrid(t)
+	for row := 0; row < 100; row++ {
+		grid.Set(geo.C(55, row), geo.Tree)
+	}
+	l := NewLidar(rng.New(6), grid)
+	targets := []Target{{ID: "w1", Pos: geo.V(60, 50)}}
+	for i := 0; i < 100; i++ {
+		if len(l.Scan(geo.V(50, 50), targets, Clear())) > 0 {
+			t.Fatal("lidar saw through a tree wall")
+		}
+	}
+}
+
+func TestLidarRangeLimit(t *testing.T) {
+	grid := testGrid(t)
+	l := NewLidar(rng.New(7), grid)
+	targets := []Target{{ID: "w1", Pos: geo.V(95, 50)}}
+	if got := l.Scan(geo.V(50, 50), targets, Clear()); len(got) != 0 {
+		t.Fatal("lidar detected beyond range")
+	}
+}
+
+func TestLidarRainDegradation(t *testing.T) {
+	grid := testGrid(t)
+	l := NewLidar(rng.New(8), grid)
+	targets := []Target{{ID: "w1", Pos: geo.V(65, 50)}}
+	clear, rain := 0, 0
+	for i := 0; i < 400; i++ {
+		if len(l.Scan(geo.V(50, 50), targets, Clear())) > 0 {
+			clear++
+		}
+		if len(l.Scan(geo.V(50, 50), targets, Weather{Rain: 1})) > 0 {
+			rain++
+		}
+	}
+	if rain >= clear {
+		t.Fatalf("rain detection %d not worse than clear %d", rain, clear)
+	}
+}
+
+func TestCameraBlinded(t *testing.T) {
+	grid := testGrid(t)
+	c := NewCamera(rng.New(9), grid)
+	targets := []Target{{ID: "w1", Pos: geo.V(60, 50)}}
+	c.Blinded = true
+	real := 0
+	for i := 0; i < 200; i++ {
+		for _, d := range c.Scan(geo.V(50, 50), targets, Clear()) {
+			if !d.FalsePositive {
+				real++
+			}
+		}
+	}
+	if real != 0 {
+		t.Fatalf("blinded camera made %d real detections", real)
+	}
+}
+
+func TestCameraDarknessDegradation(t *testing.T) {
+	grid := testGrid(t)
+	c := NewCamera(rng.New(10), grid)
+	targets := []Target{{ID: "w1", Pos: geo.V(60, 50)}}
+	day, night := 0, 0
+	for i := 0; i < 400; i++ {
+		if hasReal(c.Scan(geo.V(50, 50), targets, Clear())) {
+			day++
+		}
+		if hasReal(c.Scan(geo.V(50, 50), targets, Weather{Darkness: 1})) {
+			night++
+		}
+	}
+	if night >= day/2 {
+		t.Fatalf("night detection %d vs day %d: darkness should heavily degrade", night, day)
+	}
+}
+
+func TestCameraFalsePositives(t *testing.T) {
+	grid := testGrid(t)
+	c := NewCamera(rng.New(11), grid)
+	c.FalsePositiveRate = 0.5
+	fp := 0
+	for i := 0; i < 200; i++ {
+		for _, d := range c.Scan(geo.V(50, 50), nil, Clear()) {
+			if d.FalsePositive {
+				fp++
+			}
+		}
+	}
+	if fp < 50 {
+		t.Fatalf("false positives = %d/200 at rate 0.5", fp)
+	}
+}
+
+func TestUltrasonicShortRange(t *testing.T) {
+	u := NewUltrasonic(rng.New(12))
+	near := []Target{{ID: "w1", Pos: geo.V(52, 50)}}
+	far := []Target{{ID: "w2", Pos: geo.V(60, 50)}}
+	if len(u.Scan(geo.V(50, 50), far, Clear())) != 0 {
+		t.Fatal("ultrasonic detected beyond range")
+	}
+	hits := 0
+	for i := 0; i < 100; i++ {
+		if len(u.Scan(geo.V(50, 50), near, Clear())) > 0 {
+			hits++
+		}
+	}
+	if hits < 95 {
+		t.Fatalf("ultrasonic near detection = %d/100", hits)
+	}
+}
+
+func TestAerialCameraIgnoresTerrainWalls(t *testing.T) {
+	grid := testGrid(t)
+	// Tree wall that blocks all ground LOS.
+	for row := 0; row < 100; row++ {
+		grid.Set(geo.C(55, row), geo.Tree)
+	}
+	a := NewAerialCamera(rng.New(13), grid)
+	targets := []Target{{ID: "w1", Pos: geo.V(60, 50)}} // behind the wall, open cell
+	hits := 0
+	for i := 0; i < 200; i++ {
+		if len(a.Scan(geo.V(50, 50), targets, Clear())) > 0 {
+			hits++
+		}
+	}
+	if hits < 150 {
+		t.Fatalf("aerial detection behind wall = %d/200, want high (terrain must not occlude)", hits)
+	}
+}
+
+func TestAerialCameraCanopyBlocks(t *testing.T) {
+	grid := testGrid(t)
+	grid.Set(geo.C(60, 50), geo.Tree) // target directly under canopy
+	a := NewAerialCamera(rng.New(14), grid)
+	open := []Target{{ID: "w1", Pos: geo.V(62.5, 50.5)}}
+	canopy := []Target{{ID: "w2", Pos: geo.V(60.5, 50.5)}}
+	openHits, canopyHits := 0, 0
+	for i := 0; i < 400; i++ {
+		if len(a.Scan(geo.V(50, 50), open, Clear())) > 0 {
+			openHits++
+		}
+		if len(a.Scan(geo.V(50, 50), canopy, Clear())) > 0 {
+			canopyHits++
+		}
+	}
+	if canopyHits >= openHits {
+		t.Fatalf("canopy hits %d not below open hits %d", canopyHits, openHits)
+	}
+}
+
+func TestAerialCameraBlinded(t *testing.T) {
+	grid := testGrid(t)
+	a := NewAerialCamera(rng.New(15), grid)
+	a.Blinded = true
+	targets := []Target{{ID: "w1", Pos: geo.V(55, 50)}}
+	if got := a.Scan(geo.V(50, 50), targets, Clear()); len(got) != 0 {
+		t.Fatal("blinded aerial camera detected targets")
+	}
+}
+
+func TestWeatherSeverity(t *testing.T) {
+	if Clear().Severity() != 0 {
+		t.Fatal("clear severity must be 0")
+	}
+	worst := Weather{Rain: 1, Fog: 1, Darkness: 1}
+	if s := worst.Severity(); s != 1 {
+		t.Fatalf("worst severity = %v, want 1", s)
+	}
+	mid := Weather{Rain: 0.5}
+	if s := mid.Severity(); s <= 0 || s >= 1 {
+		t.Fatalf("mid severity = %v, want in (0,1)", s)
+	}
+}
+
+func hasReal(ds []Detection) bool {
+	for _, d := range ds {
+		if !d.FalsePositive {
+			return true
+		}
+	}
+	return false
+}

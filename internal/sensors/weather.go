@@ -1,0 +1,43 @@
+// Package sensors models the perception and localisation sensors of the
+// worksite machines: GNSS (with spoofing/jamming responses), LiDAR, camera,
+// and ultrasonic rangers, under an environmental weather model.
+//
+// Section III-C/III-D of the paper motivates exactly this layer: "increased
+// reliance on sensors leads to risks of non-hardware related functional
+// inefficiencies like misinterpretation of sensor data [or] inadequate
+// sensing due to environmental conditions" — so every detector degrades with
+// rain, fog and low light, and every degradation parameter is explicit so the
+// SOTIF analysis can sweep it.
+package sensors
+
+// Weather captures the environmental conditions relevant to perception.
+// All factors are normalised to [0, 1]; zero is benign.
+type Weather struct {
+	// Rain intensity: 0 dry, 1 torrential.
+	Rain float64 `json:"rain"`
+	// Fog density: 0 clear, 1 dense.
+	Fog float64 `json:"fog"`
+	// Darkness: 0 full daylight, 1 night.
+	Darkness float64 `json:"darkness"`
+}
+
+// Clear returns benign daylight weather.
+func Clear() Weather { return Weather{} }
+
+// clamp01 limits x to [0, 1].
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Severity aggregates the weather factors into one [0,1] degradation index
+// (used by availability heuristics and reports; individual sensors use the
+// specific factors they are sensitive to).
+func (w Weather) Severity() float64 {
+	return clamp01(0.5*w.Rain + 0.3*w.Fog + 0.2*w.Darkness)
+}

@@ -1,0 +1,208 @@
+package simclock
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(3*time.Second, func(*Scheduler) { order = append(order, 3) })
+	s.At(1*time.Second, func(*Scheduler) { order = append(order, 1) })
+	s.At(2*time.Second, func(*Scheduler) { order = append(order, 2) })
+	if err := s.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFIFOAtSameTime(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(time.Second, func(*Scheduler) { order = append(order, i) })
+	}
+	if err := s.Run(2 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if order[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	s := New()
+	var at time.Duration
+	s.After(5*time.Second, func(sch *Scheduler) { at = sch.Now() })
+	if err := s.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 5*time.Second {
+		t.Fatalf("event saw Now = %v, want 5s", at)
+	}
+	if s.Now() != time.Minute {
+		t.Fatalf("Now after Run = %v, want horizon 1m", s.Now())
+	}
+}
+
+func TestRunHorizonLeavesFutureEvents(t *testing.T) {
+	s := New()
+	fired := false
+	s.At(10*time.Second, func(*Scheduler) { fired = true })
+	if err := s.Run(5 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+	if err := s.Run(15 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Fatal("event did not fire on second Run")
+	}
+}
+
+func TestPastTimesClampToNow(t *testing.T) {
+	s := New()
+	var firedAt time.Duration
+	s.At(5*time.Second, func(sch *Scheduler) {
+		sch.At(time.Second, func(sch2 *Scheduler) { firedAt = sch2.Now() })
+	})
+	if err := s.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if firedAt != 5*time.Second {
+		t.Fatalf("past-scheduled event fired at %v, want clamp to 5s", firedAt)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	h := s.At(time.Second, func(*Scheduler) { fired = true })
+	s.Cancel(h)
+	if err := s.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	s.At(time.Second, func(sch *Scheduler) { count++; sch.Stop() })
+	s.At(2*time.Second, func(*Scheduler) { count++ })
+	err := s.Run(time.Minute)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (stop halts subsequent events)", count)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New()
+	count := 0
+	var cancel func()
+	cancel = s.Every(time.Second, func(sch *Scheduler) {
+		count++
+		if count == 3 {
+			cancel()
+		}
+	})
+	if err := s.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestEveryZeroPeriodNoop(t *testing.T) {
+	s := New()
+	cancel := s.Every(0, func(*Scheduler) { t.Fatal("must not fire") })
+	cancel()
+	if err := s.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := New()
+	count := 0
+	s.At(time.Second, func(*Scheduler) { count++ })
+	s.At(2*time.Second, func(*Scheduler) { count++ })
+	if !s.Step() || count != 1 {
+		t.Fatalf("first Step: count = %d, want 1", count)
+	}
+	if !s.Step() || count != 2 {
+		t.Fatalf("second Step: count = %d, want 2", count)
+	}
+	if s.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestEventsScheduleFollowUps(t *testing.T) {
+	s := New()
+	depth := 0
+	var recurse Event
+	recurse = func(sch *Scheduler) {
+		depth++
+		if depth < 10 {
+			sch.After(time.Second, recurse)
+		}
+	}
+	s.After(time.Second, recurse)
+	if err := s.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if depth != 10 {
+		t.Fatalf("depth = %d, want 10", depth)
+	}
+	if s.Now() != time.Minute {
+		t.Fatalf("Now = %v, want 1m", s.Now())
+	}
+}
+
+func TestPropertyMonotonicTime(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New()
+		var times []time.Duration
+		for _, d := range delays {
+			s.At(time.Duration(d)*time.Millisecond, func(sch *Scheduler) {
+				times = append(times, sch.Now())
+			})
+		}
+		if err := s.Run(time.Hour); err != nil {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

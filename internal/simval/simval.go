@@ -1,0 +1,210 @@
+// Package simval implements the simulation-validity toolkit Section III-D of
+// the paper calls for: "ensuring the validity and representativeness of the
+// simulation data compared to the real world ... requires systematic
+// validation of the components in the simulation toolchain".
+//
+// Given a reference sample (real-world measurements — in this reproduction,
+// a designated golden simulation run) and a synthetic sample (the simulator
+// output under test), the toolkit computes distribution-distance statistics
+// (two-sample Kolmogorov–Smirnov, population stability index, moment errors)
+// and classifies the synthetic source as representative or not against
+// configurable criteria. Per-sensor reports aggregate into a toolchain
+// validity statement consumed by the assurance case.
+package simval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrSampleTooSmall is returned when a sample has fewer than two points.
+var ErrSampleTooSmall = errors.New("sample too small")
+
+// KSStatistic computes the two-sample Kolmogorov–Smirnov statistic (the
+// maximum distance between empirical CDFs), in [0, 1].
+func KSStatistic(a, b []float64) (float64, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return 0, ErrSampleTooSmall
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+
+	var d float64
+	i, j := 0, 0
+	for i < len(as) && j < len(bs) {
+		if as[i] <= bs[j] {
+			i++
+		} else {
+			j++
+		}
+		fa := float64(i) / float64(len(as))
+		fb := float64(j) / float64(len(bs))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d, nil
+}
+
+// PSI computes the population stability index between a reference and a
+// synthetic sample over `bins` equal-width bins spanning the combined range.
+// PSI < 0.1 is conventionally "no significant shift"; > 0.25 "major shift".
+func PSI(ref, syn []float64, bins int) (float64, error) {
+	if len(ref) < 2 || len(syn) < 2 {
+		return 0, ErrSampleTooSmall
+	}
+	if bins < 2 {
+		return 0, fmt.Errorf("psi: need >= 2 bins, got %d", bins)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range ref {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	for _, v := range syn {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if hi == lo {
+		return 0, nil // both samples constant and equal range
+	}
+	width := (hi - lo) / float64(bins)
+	count := func(sample []float64) []float64 {
+		c := make([]float64, bins)
+		for _, v := range sample {
+			idx := int((v - lo) / width)
+			if idx >= bins {
+				idx = bins - 1
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			c[idx]++
+		}
+		// Laplace smoothing avoids log(0) on empty bins.
+		total := float64(len(sample)) + float64(bins)*0.5
+		for i := range c {
+			c[i] = (c[i] + 0.5) / total
+		}
+		return c
+	}
+	pRef, pSyn := count(ref), count(syn)
+	var psi float64
+	for i := 0; i < bins; i++ {
+		psi += (pSyn[i] - pRef[i]) * math.Log(pSyn[i]/pRef[i])
+	}
+	return psi, nil
+}
+
+// Moments returns the mean and standard deviation of a sample.
+func Moments(sample []float64) (mean, std float64) {
+	if len(sample) == 0 {
+		return 0, 0
+	}
+	for _, v := range sample {
+		mean += v
+	}
+	mean /= float64(len(sample))
+	for _, v := range sample {
+		std += (v - mean) * (v - mean)
+	}
+	std = math.Sqrt(std / float64(len(sample)))
+	return mean, std
+}
+
+// Criteria are the representativeness thresholds.
+type Criteria struct {
+	// MaxKS is the maximum tolerated KS statistic.
+	MaxKS float64
+	// MaxPSI is the maximum tolerated PSI.
+	MaxPSI float64
+	// MaxMeanRelErr is the maximum relative mean error.
+	MaxMeanRelErr float64
+	// MaxStdRelErr is the maximum relative standard-deviation error.
+	MaxStdRelErr float64
+	// Bins for the PSI histogram.
+	Bins int
+}
+
+// DefaultCriteria returns conventional thresholds (KS 0.1, PSI 0.25, moments
+// within 15%).
+func DefaultCriteria() Criteria {
+	return Criteria{MaxKS: 0.1, MaxPSI: 0.25, MaxMeanRelErr: 0.15, MaxStdRelErr: 0.15, Bins: 20}
+}
+
+// Result is a single validity comparison.
+type Result struct {
+	Name       string   `json:"name"`
+	KS         float64  `json:"ks"`
+	PSI        float64  `json:"psi"`
+	MeanRelErr float64  `json:"meanRelErr"`
+	StdRelErr  float64  `json:"stdRelErr"`
+	Valid      bool     `json:"valid"`
+	Reasons    []string `json:"reasons,omitempty"`
+}
+
+// Validate compares a synthetic sample against a reference under the given
+// criteria.
+func Validate(name string, ref, syn []float64, c Criteria) (Result, error) {
+	ks, err := KSStatistic(ref, syn)
+	if err != nil {
+		return Result{}, fmt.Errorf("validate %q: %w", name, err)
+	}
+	psi, err := PSI(ref, syn, c.Bins)
+	if err != nil {
+		return Result{}, fmt.Errorf("validate %q: %w", name, err)
+	}
+	refMean, refStd := Moments(ref)
+	synMean, synStd := Moments(syn)
+	res := Result{Name: name, KS: ks, PSI: psi}
+	res.MeanRelErr = relErr(synMean, refMean)
+	res.StdRelErr = relErr(synStd, refStd)
+
+	if ks > c.MaxKS {
+		res.Reasons = append(res.Reasons, fmt.Sprintf("KS %.3f > %.3f", ks, c.MaxKS))
+	}
+	if psi > c.MaxPSI {
+		res.Reasons = append(res.Reasons, fmt.Sprintf("PSI %.3f > %.3f", psi, c.MaxPSI))
+	}
+	if res.MeanRelErr > c.MaxMeanRelErr {
+		res.Reasons = append(res.Reasons, fmt.Sprintf("mean error %.1f%% > %.1f%%", 100*res.MeanRelErr, 100*c.MaxMeanRelErr))
+	}
+	if res.StdRelErr > c.MaxStdRelErr {
+		res.Reasons = append(res.Reasons, fmt.Sprintf("std error %.1f%% > %.1f%%", 100*res.StdRelErr, 100*c.MaxStdRelErr))
+	}
+	res.Valid = len(res.Reasons) == 0
+	return res, nil
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// ToolchainReport aggregates per-sensor validity results into the Section
+// III-D statement about the simulation toolchain as a whole.
+type ToolchainReport struct {
+	Results []Result `json:"results"`
+	Valid   bool     `json:"valid"`
+	Failed  []string `json:"failed,omitempty"`
+}
+
+// Aggregate combines results: the toolchain is valid iff every component is.
+func Aggregate(results []Result) ToolchainReport {
+	rep := ToolchainReport{Results: results, Valid: true}
+	for _, r := range results {
+		if !r.Valid {
+			rep.Valid = false
+			rep.Failed = append(rep.Failed, r.Name)
+		}
+	}
+	sort.Strings(rep.Failed)
+	return rep
+}

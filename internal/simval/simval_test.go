@@ -1,0 +1,163 @@
+package simval
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func normalSample(r *rng.Rand, n int, mean, std float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Norm(mean, std)
+	}
+	return out
+}
+
+func TestKSIdenticalDistributions(t *testing.T) {
+	r := rng.New(1)
+	a := normalSample(r.Derive("a"), 2000, 0, 1)
+	b := normalSample(r.Derive("b"), 2000, 0, 1)
+	ks, err := KSStatistic(a, b)
+	if err != nil {
+		t.Fatalf("KS: %v", err)
+	}
+	if ks > 0.06 {
+		t.Fatalf("KS = %.3f for identical distributions, want small", ks)
+	}
+}
+
+func TestKSShiftedDistributions(t *testing.T) {
+	r := rng.New(2)
+	a := normalSample(r.Derive("a"), 2000, 0, 1)
+	b := normalSample(r.Derive("b"), 2000, 2, 1)
+	ks, err := KSStatistic(a, b)
+	if err != nil {
+		t.Fatalf("KS: %v", err)
+	}
+	if ks < 0.5 {
+		t.Fatalf("KS = %.3f for 2-sigma shift, want large", ks)
+	}
+}
+
+func TestKSSampleTooSmall(t *testing.T) {
+	if _, err := KSStatistic([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrSampleTooSmall) {
+		t.Fatalf("err = %v, want ErrSampleTooSmall", err)
+	}
+}
+
+func TestKSBounds(t *testing.T) {
+	a := []float64{0, 0, 0, 0}
+	b := []float64{10, 10, 10, 10}
+	ks, err := KSStatistic(a, b)
+	if err != nil {
+		t.Fatalf("KS: %v", err)
+	}
+	if ks != 1 {
+		t.Fatalf("disjoint samples KS = %v, want 1", ks)
+	}
+}
+
+func TestPSIMatchedVsShifted(t *testing.T) {
+	r := rng.New(3)
+	ref := normalSample(r.Derive("ref"), 3000, 5, 2)
+	matched := normalSample(r.Derive("m"), 3000, 5, 2)
+	shifted := normalSample(r.Derive("s"), 3000, 9, 2)
+	psiM, err := PSI(ref, matched, 20)
+	if err != nil {
+		t.Fatalf("PSI: %v", err)
+	}
+	psiS, err := PSI(ref, shifted, 20)
+	if err != nil {
+		t.Fatalf("PSI: %v", err)
+	}
+	if psiM > 0.1 {
+		t.Fatalf("matched PSI = %.3f, want < 0.1", psiM)
+	}
+	if psiS < 0.25 {
+		t.Fatalf("shifted PSI = %.3f, want > 0.25", psiS)
+	}
+}
+
+func TestPSIInvalidBins(t *testing.T) {
+	if _, err := PSI([]float64{1, 2}, []float64{1, 2}, 1); err == nil {
+		t.Fatal("want error for < 2 bins")
+	}
+}
+
+func TestMoments(t *testing.T) {
+	mean, std := Moments([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 {
+		t.Fatalf("mean = %v, want 5", mean)
+	}
+	if math.Abs(std-2) > 1e-12 {
+		t.Fatalf("std = %v, want 2", std)
+	}
+	if m, s := Moments(nil); m != 0 || s != 0 {
+		t.Fatal("empty sample moments should be zero")
+	}
+}
+
+func TestValidateRepresentative(t *testing.T) {
+	r := rng.New(4)
+	ref := normalSample(r.Derive("ref"), 3000, 10, 3)
+	syn := normalSample(r.Derive("syn"), 3000, 10, 3)
+	res, err := Validate("lidar-range", ref, syn, DefaultCriteria())
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !res.Valid {
+		t.Fatalf("matched synthetic flagged invalid: %v", res.Reasons)
+	}
+}
+
+func TestValidateBiased(t *testing.T) {
+	r := rng.New(5)
+	ref := normalSample(r.Derive("ref"), 3000, 10, 3)
+	biased := normalSample(r.Derive("b"), 3000, 14, 3)
+	res, err := Validate("camera-confidence", ref, biased, DefaultCriteria())
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if res.Valid {
+		t.Fatal("biased synthetic passed validation")
+	}
+	if len(res.Reasons) == 0 {
+		t.Fatal("invalid result carries no reasons")
+	}
+}
+
+func TestValidateDegenerate(t *testing.T) {
+	r := rng.New(6)
+	ref := normalSample(r.Derive("ref"), 3000, 10, 3)
+	degenerate := make([]float64, 3000)
+	for i := range degenerate {
+		degenerate[i] = 10 // correct mean, zero variance
+	}
+	res, err := Validate("gnss-noise", ref, degenerate, DefaultCriteria())
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if res.Valid {
+		t.Fatal("degenerate synthetic passed validation")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	rep := Aggregate([]Result{
+		{Name: "a", Valid: true},
+		{Name: "b", Valid: false},
+		{Name: "c", Valid: true},
+	})
+	if rep.Valid {
+		t.Fatal("toolchain valid despite failed component")
+	}
+	if len(rep.Failed) != 1 || rep.Failed[0] != "b" {
+		t.Fatalf("failed = %v", rep.Failed)
+	}
+	if !Aggregate([]Result{{Name: "a", Valid: true}}).Valid {
+		t.Fatal("all-valid toolchain flagged invalid")
+	}
+}

@@ -1,0 +1,232 @@
+// Package sotif adapts the Safety of the Intended Functionality concept
+// (ISO 21448, automotive) to forestry machinery, as Section III-C of the
+// paper proposes: performance insufficiencies of the people-detection
+// function — occlusion, weather, darkness — are not random hardware failures
+// and are invisible to ISO 13849; they require scenario-space analysis.
+//
+// The scenario space is classified into the standard's four areas: known-safe
+// (1), known-unsafe (2), unknown-unsafe (3), unknown-safe (4). An Analysis
+// evaluates scenarios with an injected evaluator (the benchmark harness wires
+// it to the fusion/worksite simulation), classifies them against an
+// acceptance criterion, and reports how the unsafe areas shrink when the
+// drone's additional point of view (Fig. 2) is added.
+package sotif
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/sensors"
+)
+
+// Area is an ISO 21448 scenario-space quadrant.
+type Area int
+
+// Scenario areas.
+const (
+	Area1KnownSafe Area = iota + 1
+	Area2KnownUnsafe
+	Area3UnknownUnsafe
+	Area4UnknownSafe
+)
+
+// String returns a short area label.
+func (a Area) String() string {
+	switch a {
+	case Area1KnownSafe:
+		return "known-safe"
+	case Area2KnownUnsafe:
+		return "known-unsafe"
+	case Area3UnknownUnsafe:
+		return "unknown-unsafe"
+	case Area4UnknownSafe:
+		return "unknown-safe"
+	default:
+		return fmt.Sprintf("area(%d)", int(a))
+	}
+}
+
+// Scenario is one operating condition of the people-detection function.
+type Scenario struct {
+	ID string `json:"id"`
+	// Weather during the scenario.
+	Weather sensors.Weather `json:"weather"`
+	// OcclusionDensity is the tree/obstacle density around the interaction.
+	OcclusionDensity float64 `json:"occlusionDensity"`
+	// CrossingRate is how often workers cross the machine corridor (per
+	// minute).
+	CrossingRate float64 `json:"crossingRate"`
+	// Known marks scenarios in the a-priori validation catalog; scenarios
+	// sampled during exploration are unknown.
+	Known bool `json:"known"`
+}
+
+// TriggeringCondition names a condition that turns a performance limitation
+// into hazardous behaviour (ISO 21448 §6). The catalog lists the conditions
+// the forestry adaptation starts from.
+type TriggeringCondition struct {
+	ID          string `json:"id"`
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// Catalog returns the forestry triggering conditions derived from Section
+// III-C/III-D.
+func Catalog() []TriggeringCondition {
+	return []TriggeringCondition{
+		{"TC1", "Terrain occlusion", "Terrain obstacles hide a person from the forwarder's ground-level sensors (the Fig. 2 problem)."},
+		{"TC2", "Canopy cover", "Dense canopy hides a person from the drone's aerial view."},
+		{"TC3", "Heavy precipitation", "Rain degrades LiDAR returns and camera contrast."},
+		{"TC4", "Low light", "Dusk/night operation degrades camera detection."},
+		{"TC5", "Fog", "Fog degrades both camera and LiDAR range."},
+		{"TC6", "Unexpected crossing", "A worker enters the machine corridor outside planned interaction points."},
+	}
+}
+
+// Outcome is the classification of one evaluated scenario.
+type Outcome struct {
+	Scenario   Scenario `json:"scenario"`
+	HazardRate float64  `json:"hazardRate"`
+	Acceptable bool     `json:"acceptable"`
+	Area       Area     `json:"area"`
+}
+
+// Report aggregates a scenario-space evaluation.
+type Report struct {
+	Outcomes []Outcome `json:"outcomes"`
+	// ByArea counts scenarios per area.
+	ByArea map[string]int `json:"byArea"`
+	// ResidualRisk is the mean hazard rate over unsafe scenarios, weighted
+	// equally (the quantity the improvement loop must drive down).
+	ResidualRisk float64 `json:"residualRisk"`
+	// Discovered lists unknown-unsafe scenario IDs — newly found triggering
+	// combinations that must move into the known catalog.
+	Discovered []string `json:"discovered,omitempty"`
+}
+
+// Analysis evaluates scenario hazard rates against an acceptance criterion.
+type Analysis struct {
+	// Acceptance is the maximum tolerable hazard rate (hazardous events per
+	// interaction opportunity).
+	Acceptance float64
+}
+
+// NewAnalysis returns an analysis with the given acceptance criterion.
+func NewAnalysis(acceptance float64) *Analysis {
+	return &Analysis{Acceptance: acceptance}
+}
+
+// Classify places one evaluated scenario in the scenario space.
+func (a *Analysis) Classify(sc Scenario, hazardRate float64) Outcome {
+	acceptable := hazardRate <= a.Acceptance
+	var area Area
+	switch {
+	case sc.Known && acceptable:
+		area = Area1KnownSafe
+	case sc.Known && !acceptable:
+		area = Area2KnownUnsafe
+	case !sc.Known && !acceptable:
+		area = Area3UnknownUnsafe
+	default:
+		area = Area4UnknownSafe
+	}
+	return Outcome{Scenario: sc, HazardRate: hazardRate, Acceptable: acceptable, Area: area}
+}
+
+// Evaluate runs the evaluator over all scenarios and builds the report.
+// The evaluator returns the measured hazard rate for a scenario (typically
+// from a worksite/fusion simulation).
+func (a *Analysis) Evaluate(scenarios []Scenario, eval func(Scenario) float64) Report {
+	rep := Report{ByArea: make(map[string]int, 4)}
+	var unsafeSum float64
+	unsafeN := 0
+	for _, sc := range scenarios {
+		out := a.Classify(sc, eval(sc))
+		rep.Outcomes = append(rep.Outcomes, out)
+		rep.ByArea[out.Area.String()]++
+		if !out.Acceptable {
+			unsafeSum += out.HazardRate
+			unsafeN++
+			if !sc.Known {
+				rep.Discovered = append(rep.Discovered, sc.ID)
+			}
+		}
+	}
+	if unsafeN > 0 {
+		rep.ResidualRisk = unsafeSum / float64(unsafeN)
+	}
+	sort.Strings(rep.Discovered)
+	return rep
+}
+
+// KnownCatalog returns the a-priori validation scenarios: the benign corners
+// and the catalogued triggering conditions.
+func KnownCatalog() []Scenario {
+	return []Scenario{
+		{ID: "S-CLEAR", Weather: sensors.Clear(), OcclusionDensity: 0.1, CrossingRate: 0.5, Known: true},
+		{ID: "S-OCCLUDED", Weather: sensors.Clear(), OcclusionDensity: 0.35, CrossingRate: 0.5, Known: true},
+		{ID: "S-RAIN", Weather: sensors.Weather{Rain: 0.8}, OcclusionDensity: 0.15, CrossingRate: 0.5, Known: true},
+		{ID: "S-NIGHT", Weather: sensors.Weather{Darkness: 0.9}, OcclusionDensity: 0.15, CrossingRate: 0.5, Known: true},
+		{ID: "S-FOG", Weather: sensors.Weather{Fog: 0.7}, OcclusionDensity: 0.15, CrossingRate: 0.5, Known: true},
+		{ID: "S-BUSY", Weather: sensors.Clear(), OcclusionDensity: 0.2, CrossingRate: 2, Known: true},
+	}
+}
+
+// ExploreSpace samples n unknown scenarios uniformly over the parameter
+// space (the standard's "unknown scenario" discovery activity).
+func ExploreSpace(r *rng.Rand, n int) []Scenario {
+	er := r.Derive("sotif-explore")
+	out := make([]Scenario, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Scenario{
+			ID: fmt.Sprintf("X-%03d", i+1),
+			Weather: sensors.Weather{
+				Rain:     er.Range(0, 1),
+				Fog:      er.Range(0, 0.8),
+				Darkness: er.Range(0, 1),
+			},
+			OcclusionDensity: er.Range(0.05, 0.45),
+			CrossingRate:     er.Range(0.2, 3),
+			Known:            false,
+		})
+	}
+	return out
+}
+
+// CompareReports quantifies an improvement loop step: how many scenarios
+// moved out of the unsafe areas between two evaluations of the same
+// scenario list (e.g. forwarder-only vs forwarder+drone).
+type Improvement struct {
+	UnsafeBefore int     `json:"unsafeBefore"`
+	UnsafeAfter  int     `json:"unsafeAfter"`
+	Moved        int     `json:"moved"`
+	ResidualDrop float64 `json:"residualDrop"`
+}
+
+// CompareReports computes the improvement between two reports over the same
+// scenarios.
+func CompareReports(before, after Report) Improvement {
+	unsafe := func(r Report) map[string]bool {
+		m := make(map[string]bool)
+		for _, o := range r.Outcomes {
+			if !o.Acceptable {
+				m[o.Scenario.ID] = true
+			}
+		}
+		return m
+	}
+	ub, ua := unsafe(before), unsafe(after)
+	moved := 0
+	for id := range ub {
+		if !ua[id] {
+			moved++
+		}
+	}
+	return Improvement{
+		UnsafeBefore: len(ub),
+		UnsafeAfter:  len(ua),
+		Moved:        moved,
+		ResidualDrop: before.ResidualRisk - after.ResidualRisk,
+	}
+}

@@ -1,0 +1,116 @@
+package sotif
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestClassifyQuadrants(t *testing.T) {
+	a := NewAnalysis(0.1)
+	tests := []struct {
+		known  bool
+		hazard float64
+		want   Area
+	}{
+		{true, 0.05, Area1KnownSafe},
+		{true, 0.5, Area2KnownUnsafe},
+		{false, 0.5, Area3UnknownUnsafe},
+		{false, 0.05, Area4UnknownSafe},
+	}
+	for _, tt := range tests {
+		out := a.Classify(Scenario{ID: "s", Known: tt.known}, tt.hazard)
+		if out.Area != tt.want {
+			t.Fatalf("known=%v hazard=%v: area = %v, want %v", tt.known, tt.hazard, out.Area, tt.want)
+		}
+	}
+}
+
+func TestAcceptanceBoundaryInclusive(t *testing.T) {
+	a := NewAnalysis(0.1)
+	out := a.Classify(Scenario{Known: true}, 0.1)
+	if !out.Acceptable {
+		t.Fatal("hazard rate exactly at acceptance must be acceptable")
+	}
+}
+
+func TestEvaluateReport(t *testing.T) {
+	a := NewAnalysis(0.1)
+	scenarios := []Scenario{
+		{ID: "k-safe", Known: true},
+		{ID: "k-unsafe", Known: true},
+		{ID: "u-unsafe", Known: false},
+		{ID: "u-safe", Known: false},
+	}
+	rates := map[string]float64{
+		"k-safe": 0.01, "k-unsafe": 0.4, "u-unsafe": 0.6, "u-safe": 0.02,
+	}
+	rep := a.Evaluate(scenarios, func(sc Scenario) float64 { return rates[sc.ID] })
+	if rep.ByArea["known-safe"] != 1 || rep.ByArea["known-unsafe"] != 1 ||
+		rep.ByArea["unknown-unsafe"] != 1 || rep.ByArea["unknown-safe"] != 1 {
+		t.Fatalf("byArea = %v", rep.ByArea)
+	}
+	if len(rep.Discovered) != 1 || rep.Discovered[0] != "u-unsafe" {
+		t.Fatalf("discovered = %v, want [u-unsafe]", rep.Discovered)
+	}
+	wantResidual := (0.4 + 0.6) / 2
+	if rep.ResidualRisk != wantResidual {
+		t.Fatalf("residual = %v, want %v", rep.ResidualRisk, wantResidual)
+	}
+}
+
+func TestKnownCatalogAndConditions(t *testing.T) {
+	if len(KnownCatalog()) < 5 {
+		t.Fatal("known catalog too small")
+	}
+	for _, sc := range KnownCatalog() {
+		if !sc.Known {
+			t.Fatalf("catalog scenario %s not marked known", sc.ID)
+		}
+	}
+	if len(Catalog()) < 5 {
+		t.Fatal("triggering-condition catalog too small")
+	}
+}
+
+func TestExploreSpaceDeterministicAndBounded(t *testing.T) {
+	r := rng.New(42)
+	a := ExploreSpace(r, 50)
+	b := ExploreSpace(rng.New(42), 50)
+	if len(a) != 50 {
+		t.Fatalf("scenarios = %d", len(a))
+	}
+	for i, sc := range a {
+		if sc.Known {
+			t.Fatal("explored scenario marked known")
+		}
+		if sc.Weather.Rain < 0 || sc.Weather.Rain > 1 || sc.OcclusionDensity < 0 {
+			t.Fatalf("out-of-range parameters: %+v", sc)
+		}
+		if sc.ID != b[i].ID || sc.OcclusionDensity != b[i].OcclusionDensity {
+			t.Fatal("exploration not deterministic")
+		}
+	}
+}
+
+func TestCompareReportsImprovement(t *testing.T) {
+	a := NewAnalysis(0.1)
+	scenarios := []Scenario{
+		{ID: "s1", Known: true}, {ID: "s2", Known: true}, {ID: "s3", Known: false},
+	}
+	before := a.Evaluate(scenarios, func(sc Scenario) float64 { return 0.5 })
+	// The drone improves s1 and s3 below acceptance.
+	after := a.Evaluate(scenarios, func(sc Scenario) float64 {
+		if sc.ID == "s2" {
+			return 0.3
+		}
+		return 0.05
+	})
+	imp := CompareReports(before, after)
+	if imp.UnsafeBefore != 3 || imp.UnsafeAfter != 1 || imp.Moved != 2 {
+		t.Fatalf("improvement = %+v", imp)
+	}
+	if imp.ResidualDrop <= 0 {
+		t.Fatalf("residual drop = %v, want positive", imp.ResidualDrop)
+	}
+}

@@ -1,0 +1,272 @@
+// Package standards is the machine-readable registry of the regulations and
+// standards the paper's certification pathway navigates (Sections I, II,
+// IV-D): the Machinery Regulation (EU) 2023/1230 and its predecessor
+// directive, the adjacent EU acts (CRA, Data Act, AI Act), and the technical
+// standards the combined methodology draws on (ISO 13849, ISO 12100,
+// ISO 21448, IEC 62443, ISO/SAE 21434, IEC TS 63074, ISO/CD PAS 8800,
+// ISO/IEC TR 5469).
+//
+// On top of the registry sits a CE conformity checklist: essential
+// requirements extracted from the Machinery Regulation's cybersecurity-
+// relevant clauses, each mapped to the kinds of evidence this repository can
+// produce, with a gap analysis for any given evidence inventory.
+package standards
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind classifies a registry entry.
+type Kind int
+
+// Registry entry kinds.
+const (
+	KindRegulation Kind = iota + 1
+	KindDirective
+	KindStandard
+	KindTechSpec
+	KindTechReport
+	KindPAS
+)
+
+// String returns a short kind label.
+func (k Kind) String() string {
+	switch k {
+	case KindRegulation:
+		return "regulation"
+	case KindDirective:
+		return "directive"
+	case KindStandard:
+		return "standard"
+	case KindTechSpec:
+		return "technical-specification"
+	case KindTechReport:
+		return "technical-report"
+	case KindPAS:
+		return "publicly-available-specification"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Status captures the lifecycle state relevant to conformity planning.
+type Status int
+
+// Lifecycle states.
+const (
+	StatusInForce Status = iota + 1
+	StatusUpcoming
+	StatusDraft
+	StatusRepealed
+)
+
+// String returns a short status label.
+func (s Status) String() string {
+	switch s {
+	case StatusInForce:
+		return "in-force"
+	case StatusUpcoming:
+		return "upcoming"
+	case StatusDraft:
+		return "draft"
+	case StatusRepealed:
+		return "repealed"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Entry is one regulation or standard.
+type Entry struct {
+	ID         string `json:"id"`
+	Title      string `json:"title"`
+	Org        string `json:"org"`
+	Kind       Kind   `json:"kind"`
+	Status     Status `json:"status"`
+	Harmonized bool   `json:"harmonized"` // with Regulation (EU) 2023/1230
+	// Topic summarises what the pathway uses it for.
+	Topic string `json:"topic"`
+}
+
+// Registry returns all entries the paper cites, keyed by the IDs used in
+// requirements.
+func Registry() []Entry {
+	return []Entry{
+		{"REG-2023/1230", "Machinery Regulation (EU) 2023/1230", "EU", KindRegulation, StatusUpcoming, false,
+			"CE essential health and safety requirements incl. cybersecurity; applies from early 2027"},
+		{"DIR-2006/42", "Machinery Directive 2006/42/EC", "EU", KindDirective, StatusInForce, false,
+			"Predecessor legal framework, repealed by 2023/1230"},
+		{"CRA", "Cyber Resilience Act (proposal)", "EU", KindRegulation, StatusDraft, false,
+			"Horizontal cybersecurity requirements for products with digital elements"},
+		{"DATA-ACT", "Data Act (EU) 2023/2854", "EU", KindRegulation, StatusInForce, false,
+			"Fair access to and use of data from connected machinery"},
+		{"AI-ACT", "Artificial Intelligence Act (proposal)", "EU", KindRegulation, StatusDraft, false,
+			"Harmonised rules for AI components in safety-critical functions"},
+		{"ISO-13849", "ISO 13849:2023 Safety-related parts of control systems", "ISO", KindStandard, StatusInForce, false,
+			"Performance levels for safety functions"},
+		{"ISO-12100", "ISO 12100:2010 Risk assessment and risk reduction", "ISO", KindStandard, StatusInForce, false,
+			"General machinery risk assessment principles"},
+		{"ISO-21448", "ISO 21448:2022 Safety of the intended functionality", "ISO", KindStandard, StatusInForce, false,
+			"Scenario-space analysis of performance insufficiencies (adapted from road vehicles)"},
+		{"IEC-62443", "IEC 62443 Industrial communication network and system security", "IEC", KindStandard, StatusInForce, false,
+			"Security levels, zones and conduits for industrial automation"},
+		{"ISO-SAE-21434", "ISO/SAE 21434:2021 Road vehicles — cybersecurity engineering", "ISO/SAE", KindStandard, StatusInForce, false,
+			"TARA, CAL, lifecycle cybersecurity engineering (adapted from road vehicles)"},
+		{"IEC-TS-63074", "IEC TS 63074:2023 Security aspects of safety-related control systems", "IEC", KindTechSpec, StatusInForce, false,
+			"Interplay: security threats compromising functional safety"},
+		{"ISO-PAS-8800", "ISO/CD PAS 8800 Road vehicles — safety and artificial intelligence", "ISO", KindPAS, StatusDraft, false,
+			"Guidance for developing and validating AI safety components"},
+		{"ISO-IEC-TR-5469", "ISO/IEC TR 5469:2024 AI — functional safety and AI systems", "ISO/IEC", KindTechReport, StatusInForce, false,
+			"Guidance on AI in functional-safety contexts"},
+	}
+}
+
+// Lookup returns the registry entry with the given ID.
+func Lookup(id string) (Entry, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// HarmonizedCount returns how many registry entries are harmonized with the
+// Machinery Regulation — zero as of the paper's writing, which is exactly
+// the gap the paper highlights.
+func HarmonizedCount() int {
+	n := 0
+	for _, e := range Registry() {
+		if e.Harmonized {
+			n++
+		}
+	}
+	return n
+}
+
+// Requirement is one conformity requirement with the evidence kinds that can
+// discharge it.
+type Requirement struct {
+	ID         string `json:"id"`
+	StandardID string `json:"standardId"`
+	Clause     string `json:"clause"`
+	Text       string `json:"text"`
+	// EvidenceKinds lists acceptable evidence identifiers (see package core
+	// for the kinds this repository produces).
+	EvidenceKinds []string `json:"evidenceKinds"`
+	// Mandatory requirements gate CE readiness; advisory ones improve it.
+	Mandatory bool `json:"mandatory"`
+}
+
+// Requirements returns the cybersecurity-and-safety conformity checklist for
+// the autonomous forestry use case.
+func Requirements() []Requirement {
+	return []Requirement{
+		{"REQ-CORRUPTION", "REG-2023/1230", "Annex III 1.1.9",
+			"Protection against corruption: connections must not lead to hazardous situations; evidence of protection against accidental or intentional corruption.",
+			[]string{"secure-channel-tests", "attack-campaign", "ids-log"}, true},
+		{"REQ-SAFE-CONTROL", "REG-2023/1230", "Annex III 1.2.1",
+			"Control systems must withstand intended operating stresses and external influences including malicious attempts.",
+			[]string{"attack-campaign", "failsafe-tests"}, true},
+		{"REQ-SW-INTEGRITY", "REG-2023/1230", "Annex III 1.1.9(b)",
+			"Evidence of software integrity: the machine must identify installed software and detect unauthorized modification.",
+			[]string{"secure-boot-report", "attestation"}, true},
+		{"REQ-RISK-ASSESS", "ISO-12100", "§5-6",
+			"Iterative risk assessment and reduction covering all life-cycle phases.",
+			[]string{"risk-register"}, true},
+		{"REQ-PL", "ISO-13849", "§4",
+			"Safety functions achieve their required performance levels.",
+			[]string{"pl-analysis"}, true},
+		{"REQ-TARA", "ISO-SAE-21434", "§15",
+			"Threat analysis and risk assessment with treatment decisions for all threat scenarios.",
+			[]string{"risk-register"}, true},
+		{"REQ-SL", "IEC-62443", "3-3",
+			"Zones and conduits meet their target security levels over all foundational requirements.",
+			[]string{"sl-gap-analysis"}, true},
+		{"REQ-INTERPLAY", "IEC-TS-63074", "§6",
+			"Security risks that can compromise safety functions are identified and mitigated.",
+			[]string{"interplay-analysis"}, true},
+		{"REQ-SOTIF", "ISO-21448", "§7-11",
+			"Performance insufficiencies and triggering conditions analysed; residual unsafe area acceptably small.",
+			[]string{"sotif-report"}, true},
+		{"REQ-MONITORING", "IEC-62443", "SR 6.2",
+			"Continuous monitoring with timely response to security events.",
+			[]string{"ids-log"}, true},
+		{"REQ-AI-VALIDATION", "ISO-PAS-8800", "draft",
+			"AI components validated for the target operational design domain, including simulation validity.",
+			[]string{"simval-report", "sotif-report"}, false},
+		{"REQ-AI-FS", "ISO-IEC-TR-5469", "guidance",
+			"AI contributions to safety functions analysed for functional-safety implications.",
+			[]string{"interplay-analysis", "sotif-report"}, false},
+		{"REQ-DATA-GOV", "DATA-ACT", "Art. 3-5",
+			"Machine-generated data access and sharing obligations addressed.",
+			[]string{"data-inventory"}, false},
+		{"REQ-CRA-SUPPORT", "CRA", "Annex I",
+			"Vulnerability handling and security-update capability over the product lifetime.",
+			[]string{"update-process", "secure-boot-report"}, false},
+		{"REQ-ASSURANCE", "ISO-SAE-21434", "§6 / RQ-06-01",
+			"A cybersecurity case provides the argument for cybersecurity of the item.",
+			[]string{"assurance-case"}, true},
+	}
+}
+
+// ReqStatus is the evaluation of one requirement against available evidence.
+type ReqStatus struct {
+	Requirement Requirement `json:"requirement"`
+	Covered     bool        `json:"covered"`
+	MatchedBy   []string    `json:"matchedBy,omitempty"`
+	Missing     []string    `json:"missing,omitempty"`
+}
+
+// ConformityReport is the CE gap analysis.
+type ConformityReport struct {
+	Statuses []ReqStatus `json:"statuses"`
+	// MandatoryCovered / MandatoryTotal gate the readiness verdict.
+	MandatoryCovered int     `json:"mandatoryCovered"`
+	MandatoryTotal   int     `json:"mandatoryTotal"`
+	AdvisoryCovered  int     `json:"advisoryCovered"`
+	AdvisoryTotal    int     `json:"advisoryTotal"`
+	Readiness        float64 `json:"readiness"` // covered fraction, all requirements
+	Ready            bool    `json:"ready"`     // all mandatory covered
+}
+
+// CheckConformity evaluates the checklist against an evidence inventory
+// (evidence kind → references). A requirement is covered when at least one
+// of its acceptable evidence kinds is present.
+func CheckConformity(available map[string][]string) ConformityReport {
+	reqs := Requirements()
+	rep := ConformityReport{}
+	covered := 0
+	for _, rq := range reqs {
+		st := ReqStatus{Requirement: rq}
+		for _, kind := range rq.EvidenceKinds {
+			if refs, ok := available[kind]; ok && len(refs) > 0 {
+				st.Covered = true
+				st.MatchedBy = append(st.MatchedBy, kind)
+			} else {
+				st.Missing = append(st.Missing, kind)
+			}
+		}
+		sort.Strings(st.MatchedBy)
+		sort.Strings(st.Missing)
+		if rq.Mandatory {
+			rep.MandatoryTotal++
+			if st.Covered {
+				rep.MandatoryCovered++
+			}
+		} else {
+			rep.AdvisoryTotal++
+			if st.Covered {
+				rep.AdvisoryCovered++
+			}
+		}
+		if st.Covered {
+			covered++
+		}
+		rep.Statuses = append(rep.Statuses, st)
+	}
+	rep.Readiness = float64(covered) / float64(len(reqs))
+	rep.Ready = rep.MandatoryCovered == rep.MandatoryTotal
+	return rep
+}

@@ -1,0 +1,119 @@
+package standards
+
+import "testing"
+
+func TestRegistryCompleteness(t *testing.T) {
+	reg := Registry()
+	if len(reg) < 13 {
+		t.Fatalf("registry entries = %d, want all paper citations", len(reg))
+	}
+	seen := make(map[string]bool)
+	for _, e := range reg {
+		if e.ID == "" || e.Title == "" || e.Topic == "" {
+			t.Fatalf("incomplete entry %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate entry %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestNoHarmonizedStandards(t *testing.T) {
+	// The paper: "as of this writing, no standards have been harmonized with
+	// Regulation (EU) 2023/1230". The registry must reflect that gap.
+	if HarmonizedCount() != 0 {
+		t.Fatalf("harmonized = %d, want 0 per the paper", HarmonizedCount())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	e, ok := Lookup("IEC-TS-63074")
+	if !ok {
+		t.Fatal("IEC TS 63074 missing from registry")
+	}
+	if e.Kind != KindTechSpec {
+		t.Fatalf("kind = %v, want technical-specification", e.Kind)
+	}
+	if _, ok := Lookup("NOPE"); ok {
+		t.Fatal("lookup of unknown ID succeeded")
+	}
+}
+
+func TestRequirementsReferenceRegistry(t *testing.T) {
+	for _, rq := range Requirements() {
+		if _, ok := Lookup(rq.StandardID); !ok {
+			t.Fatalf("requirement %s references unknown standard %s", rq.ID, rq.StandardID)
+		}
+		if len(rq.EvidenceKinds) == 0 {
+			t.Fatalf("requirement %s has no evidence kinds", rq.ID)
+		}
+	}
+}
+
+func TestConformityEmptyInventory(t *testing.T) {
+	rep := CheckConformity(nil)
+	if rep.Ready {
+		t.Fatal("empty evidence inventory reported CE-ready")
+	}
+	if rep.MandatoryCovered != 0 {
+		t.Fatalf("mandatory covered = %d with no evidence", rep.MandatoryCovered)
+	}
+	if rep.Readiness != 0 {
+		t.Fatalf("readiness = %v, want 0", rep.Readiness)
+	}
+}
+
+func TestConformityFullInventory(t *testing.T) {
+	inventory := map[string][]string{}
+	for _, rq := range Requirements() {
+		for _, k := range rq.EvidenceKinds {
+			inventory[k] = append(inventory[k], "artefact")
+		}
+	}
+	rep := CheckConformity(inventory)
+	if !rep.Ready {
+		t.Fatal("full inventory not CE-ready")
+	}
+	if rep.Readiness != 1 {
+		t.Fatalf("readiness = %v, want 1", rep.Readiness)
+	}
+}
+
+func TestConformityPartial(t *testing.T) {
+	rep := CheckConformity(map[string][]string{
+		"risk-register": {"register.json"},
+		"ids-log":       {"alerts.json"},
+	})
+	if rep.Ready {
+		t.Fatal("partial inventory reported ready")
+	}
+	if rep.MandatoryCovered == 0 {
+		t.Fatal("risk-register evidence covered nothing")
+	}
+	coveredSeen := false
+	for _, st := range rep.Statuses {
+		if st.Requirement.ID == "REQ-TARA" {
+			if !st.Covered {
+				t.Fatal("REQ-TARA not covered by risk-register")
+			}
+			coveredSeen = true
+		}
+		if st.Requirement.ID == "REQ-SW-INTEGRITY" && st.Covered {
+			t.Fatal("REQ-SW-INTEGRITY covered without boot evidence")
+		}
+	}
+	if !coveredSeen {
+		t.Fatal("REQ-TARA missing from statuses")
+	}
+}
+
+func TestAlternativeEvidenceKindsSuffice(t *testing.T) {
+	// REQ-CORRUPTION accepts any of three kinds; one should cover it.
+	rep := CheckConformity(map[string][]string{"ids-log": {"x"}})
+	for _, st := range rep.Statuses {
+		if st.Requirement.ID == "REQ-CORRUPTION" && !st.Covered {
+			t.Fatal("alternative evidence kind did not cover REQ-CORRUPTION")
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package standards
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	tests := []struct {
+		got  string
+		want string
+	}{
+		{KindRegulation.String(), "regulation"},
+		{KindDirective.String(), "directive"},
+		{KindStandard.String(), "standard"},
+		{KindTechSpec.String(), "technical-specification"},
+		{KindTechReport.String(), "technical-report"},
+		{KindPAS.String(), "publicly-available-specification"},
+		{Kind(99).String(), "kind(99)"},
+		{StatusInForce.String(), "in-force"},
+		{StatusUpcoming.String(), "upcoming"},
+		{StatusDraft.String(), "draft"},
+		{StatusRepealed.String(), "repealed"},
+		{Status(99).String(), "status(99)"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Fatalf("got %q, want %q", tt.got, tt.want)
+		}
+	}
+}
+
+func TestMachineryRegulationUpcoming(t *testing.T) {
+	// The paper: Regulation 2023/1230 is "effective from early 2027".
+	e, ok := Lookup("REG-2023/1230")
+	if !ok || e.Status != StatusUpcoming {
+		t.Fatalf("machinery regulation status = %v/%v", e.Status, ok)
+	}
+	d, ok := Lookup("DIR-2006/42")
+	if !ok || d.Kind != KindDirective {
+		t.Fatalf("directive entry = %+v/%v", d, ok)
+	}
+}
+
+func TestAdvisoryVsMandatorySplit(t *testing.T) {
+	mand, adv := 0, 0
+	for _, rq := range Requirements() {
+		if rq.Mandatory {
+			mand++
+		} else {
+			adv++
+		}
+	}
+	if mand == 0 || adv == 0 {
+		t.Fatalf("requirements split mand=%d adv=%d, want both present", mand, adv)
+	}
+}

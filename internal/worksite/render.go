@@ -1,0 +1,84 @@
+package worksite
+
+import (
+	"strings"
+
+	"repro/internal/geo"
+)
+
+// RenderMap returns an ASCII rendering of the worksite — the textual Fig. 1:
+// terrain (trees '^', rocks '#', road '='), the landing 'L' and harvest 'H'
+// areas, the forwarder 'F', harvester 'V', drone 'D', workers 'w', the
+// coordinator 'C' and the attacker position 'X'. The grid is downsampled to
+// at most maxCols columns.
+func (s *Site) RenderMap(maxCols int) string {
+	if maxCols <= 0 {
+		maxCols = 80
+	}
+	step := 1
+	for s.grid.Cols()/step > maxCols {
+		step++
+	}
+	rows := s.grid.Rows() / step
+	cols := s.grid.Cols() / step
+
+	canvas := make([][]byte, rows)
+	for r := range canvas {
+		canvas[r] = make([]byte, cols)
+		for c := range canvas[r] {
+			// Majority terrain in the step x step block.
+			counts := map[geo.Terrain]int{}
+			for dr := 0; dr < step; dr++ {
+				for dc := 0; dc < step; dc++ {
+					counts[s.grid.At(geo.C(c*step+dc, r*step+dr))]++
+				}
+			}
+			best, bestN := geo.Ground, -1
+			for t, n := range counts {
+				if n > bestN {
+					best, bestN = t, n
+				}
+			}
+			switch best {
+			case geo.Tree:
+				canvas[r][c] = '^'
+			case geo.Rock:
+				canvas[r][c] = '#'
+			case geo.Road:
+				canvas[r][c] = '='
+			case geo.Water:
+				canvas[r][c] = '~'
+			default:
+				canvas[r][c] = '.'
+			}
+		}
+	}
+
+	plot := func(p geo.Vec, ch byte) {
+		cell := s.grid.CellOf(p)
+		r, c := cell.Row/step, cell.Col/step
+		if r >= 0 && r < rows && c >= 0 && c < cols {
+			canvas[r][c] = ch
+		}
+	}
+	plot(s.landing, 'L')
+	plot(s.harvest, 'H')
+	for _, w := range s.workers {
+		plot(w.pos, 'w')
+	}
+	plot(s.harvester.Pose.Pos, 'V')
+	if s.drone != nil {
+		plot(s.drone.Pose.Pos, 'D')
+	}
+	plot(s.landing.Add(geo.V(-8, 0)), 'C')
+	plot(geo.V(0.5*s.grid.Width(), 0.35*s.grid.Height()), 'X')
+	plot(s.forwarder.Pose.Pos, 'F')
+
+	var b strings.Builder
+	b.WriteString("Worksite map (L landing, H harvest, F forwarder, D drone, V harvester, w worker, C coordinator, X attacker)\n")
+	for _, row := range canvas {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package worksite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TimelineEvent is one entry of the worksite's operational timeline: mission
+// phase changes, live-risk mode changes, and channel hops. Together with the
+// IDS alert log and the attack campaign's phase log it reconstructs an
+// incident end-to-end — the evidence trail a conformity assessment asks for.
+type TimelineEvent struct {
+	At     time.Duration `json:"atNs"`
+	Kind   string        `json:"kind"` // mission | risk-mode | channel-hop
+	Detail string        `json:"detail"`
+}
+
+// recordEvent appends to the site timeline.
+func (s *Site) recordEvent(at time.Duration, kind, detail string) {
+	s.timeline = append(s.timeline, TimelineEvent{At: at, Kind: kind, Detail: detail})
+}
+
+// Timeline returns a copy of the operational timeline, merged with the IDS
+// alert log, sorted by time (stable on ties).
+func (s *Site) Timeline() []TimelineEvent {
+	out := make([]TimelineEvent, len(s.timeline))
+	copy(out, s.timeline)
+	if s.engine != nil {
+		for _, a := range s.engine.Alerts() {
+			out = append(out, TimelineEvent{
+				At:     a.At,
+				Kind:   "alert",
+				Detail: fmt.Sprintf("%s [%s] %s: %s", a.Type, a.Severity, a.Source, a.Detail),
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// RenderTimeline formats the timeline, capped at maxEvents entries (0 means
+// all).
+func (s *Site) RenderTimeline(maxEvents int) string {
+	events := s.Timeline()
+	if maxEvents > 0 && len(events) > maxEvents {
+		events = events[:maxEvents]
+	}
+	var b strings.Builder
+	b.WriteString("Worksite timeline\n")
+	for _, e := range events {
+		fmt.Fprintf(&b, "%9.1fs  %-11s  %s\n", e.At.Seconds(), e.Kind, e.Detail)
+	}
+	return b.String()
+}
