@@ -1,14 +1,16 @@
 package repro
 
-// bench_test.go regenerates every table and figure of EXPERIMENTS.md (one
-// benchmark per experiment ID, plus the ablations and micro-benchmarks of
-// the secure substrate). Run with:
+// bench_test.go regenerates every table and figure of the paper reproduction
+// (one benchmark per experiment ID, plus the ablations and micro-benchmarks
+// of the secure substrate). Run with:
 //
 //	go test -bench=. -benchmem
 //
-// Each experiment benchmark prints its table/figure once (first iteration)
-// and reports domain metrics via b.ReportMetric so shape comparisons are
-// visible directly in the benchmark output.
+// Experiment benchmarks are driven through the campaign registry
+// (internal/campaign): each looks its experiment up by ID, runs it at the
+// registered defaults, prints its tables/figures once (first iteration) and
+// reports the registered domain metrics via b.ReportMetric so shape
+// comparisons are visible directly in the benchmark output.
 
 import (
 	"fmt"
@@ -16,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/pki"
@@ -35,219 +38,163 @@ func printTableOnce(key, rendered string) {
 	}
 }
 
-// BenchmarkE1_WorksiteBaseline — Fig. 1: the partially autonomous worksite
-// operates productively and safely under both profiles.
-func BenchmarkE1_WorksiteBaseline(b *testing.B) {
-	var logs, unsafe int
+// benchExperiment runs the registered experiment at its default parameters
+// (seed benchSeed), prints its artifacts once, and reports the named metrics.
+func benchExperiment(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	exp, ok := campaign.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	p := exp.Defaults
+	p.Seed = benchSeed
+	var out campaign.Outcome
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.E1WorksiteBaseline(benchSeed, 20*time.Minute)
+		var err error
+		out, err = exp.Run(p)
 		if err != nil {
 			b.Fatal(err)
 		}
-		logs = res.Secured.Metrics.LogsDelivered
-		unsafe = res.Secured.Metrics.UnsafeEpisodes
-		printTableOnce("e1", res.Table.Render())
+		for j, t := range out.Tables {
+			printTableOnce(fmt.Sprintf("%s-t%d", id, j), t.Render())
+		}
+		for j, f := range out.Figures {
+			printTableOnce(fmt.Sprintf("%s-f%d", id, j), f.Render())
+		}
 	}
-	b.ReportMetric(float64(logs), "logs/run")
-	b.ReportMetric(float64(unsafe), "unsafe-episodes/run")
+	for _, m := range metrics {
+		v, ok := out.Metrics[m]
+		if !ok {
+			b.Fatalf("experiment %q exports no metric %q", id, m)
+		}
+		b.ReportMetric(v, m)
+	}
+}
+
+// BenchmarkE1_WorksiteBaseline — Fig. 1: the partially autonomous worksite
+// operates productively and safely under both profiles.
+func BenchmarkE1_WorksiteBaseline(b *testing.B) {
+	benchExperiment(b, "e1", "logs/secured", "unsafe/secured")
 }
 
 // BenchmarkE2_DronePOVDetection — Fig. 2: the drone's additional point of
 // view removes occlusion-caused misses across the occlusion sweep.
 func BenchmarkE2_DronePOVDetection(b *testing.B) {
-	var gap float64
-	for i := 0; i < b.N; i++ {
-		res := experiments.E2DronePOV(benchSeed, 60)
-		last := res.Points[len(res.Points)-1]
-		gap = last.MissFwOnly - last.MissWithDrone
-		printTableOnce("e2", res.Figure.Render())
-	}
-	b.ReportMetric(gap, "miss-rate-reduction@0.4")
+	benchExperiment(b, "e2", "miss_reduction/occ=0.40")
 }
 
 // BenchmarkE2a_FusionPolicy — ablation: confirmation threshold K.
 func BenchmarkE2a_FusionPolicy(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		printTableOnce("e2a", experiments.E2aFusionPolicy(benchSeed, 40).Render())
-	}
+	benchExperiment(b, "e2a", "miss_with_drone/k=2")
 }
 
 // BenchmarkE3_CharacteristicTable — Table I regenerated from the risk
 // catalog with model coverage.
 func BenchmarkE3_CharacteristicTable(b *testing.B) {
-	var rows int
-	for i := 0; i < b.N; i++ {
-		t := experiments.E3CharacteristicTable()
-		rows = t.Rows()
-		printTableOnce("e3", t.Render())
-	}
-	b.ReportMetric(float64(rows), "characteristics")
+	benchExperiment(b, "e3", "characteristics")
 }
 
 // BenchmarkE4_KnowledgeTransfer — Fig. 3: mining + automotive + forestry
 // scenarios cover all Table-I characteristics.
 func BenchmarkE4_KnowledgeTransfer(b *testing.B) {
-	var covered float64
-	for i := 0; i < b.N; i++ {
-		res := experiments.E4KnowledgeTransfer()
-		if res.Transfer.FullyCovered {
-			covered = 1
-		}
-		printTableOnce("e4", res.Table.Render())
-	}
-	b.ReportMetric(covered, "tableI-fully-covered")
+	benchExperiment(b, "e4", "fully_covered")
 }
 
 // BenchmarkE5_AttackSafetyInterplay — attack × defence matrix (Sections
 // III-B, IV-C).
 func BenchmarkE5_AttackSafetyInterplay(b *testing.B) {
-	var injUnsecured, injSecured float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.E5AttackMatrix(benchSeed, 10*time.Minute)
-		if err != nil {
-			b.Fatal(err)
-		}
-		for _, row := range res.Rows {
-			if row.Attack == "command-injection" {
-				if row.Profile == "unsecured" {
-					injUnsecured = float64(row.Report.Metrics.CommandsApplied)
-				} else {
-					injSecured = float64(row.Report.Metrics.CommandsApplied)
-				}
-			}
-		}
-		printTableOnce("e5", res.Table.Render())
-	}
-	b.ReportMetric(injUnsecured, "forged-cmds-applied-unsecured")
-	b.ReportMetric(injSecured, "forged-cmds-applied-secured")
+	benchExperiment(b, "e5",
+		"cmds_applied/command-injection/unsecured",
+		"cmds_applied/command-injection/secured")
 }
 
 // BenchmarkE5b_ChannelAgility — ablation: narrowband jamming vs the
 // channel-agility response.
 func BenchmarkE5b_ChannelAgility(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		t, err := experiments.E5bChannelAgility(benchSeed, 10*time.Minute)
-		if err != nil {
-			b.Fatal(err)
-		}
-		printTableOnce("e5b", t.Render())
-	}
+	benchExperiment(b, "e5b", "logs/agility=on", "logs/agility=off")
 }
 
 // BenchmarkE5a_IDSLatency — ablation: IDS detection latency for the de-auth
 // flood.
 func BenchmarkE5a_IDSLatency(b *testing.B) {
-	var lat time.Duration
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.E5aIDSLatencyRun(benchSeed, 8*time.Minute)
-		if err != nil {
-			b.Fatal(err)
-		}
-		lat = res.DetectionLatency
-		printTableOnce("e5a", res.Table.Render())
-	}
-	b.ReportMetric(lat.Seconds(), "detection-latency-s")
+	benchExperiment(b, "e5a", "detection_latency_s")
 }
 
 // BenchmarkE6_CombinedRiskAssessment — TARA + interplay, before/after
 // treatment (IEC TS 63074).
 func BenchmarkE6_CombinedRiskAssessment(b *testing.B) {
-	var meets float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.E6CombinedRisk()
-		if err != nil {
-			b.Fatal(err)
-		}
-		n := 0
-		for _, r := range res.InterAfter {
-			if r.MeetsRequired {
-				n++
-			}
-		}
-		meets = float64(n)
-		printTableOnce("e6-register", res.Register.Render())
-		printTableOnce("e6-interplay", res.Interplay.Render())
-	}
-	b.ReportMetric(meets, "functions-meeting-PLr-treated")
+	benchExperiment(b, "e6", "meets_plr/treated")
 }
 
 // BenchmarkE7_AssuranceCase — Section V: secured pathway yields a supported
 // SAC and a CE-ready verdict; the unsecured baseline does not.
 func BenchmarkE7_AssuranceCase(b *testing.B) {
-	var secScore, unsScore float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.E7Assurance(benchSeed, 10*time.Minute)
-		if err != nil {
-			b.Fatal(err)
-		}
-		secScore = res.Secured.SACEval.Score
-		unsScore = res.Unsecured.SACEval.Score
-		printTableOnce("e7", res.Table.Render())
-	}
-	b.ReportMetric(secScore, "sac-score-secured")
-	b.ReportMetric(unsScore, "sac-score-unsecured")
+	benchExperiment(b, "e7", "sac_score/secured", "sac_score/unsecured")
 }
 
 // BenchmarkE8_SimulationValidity — Section III-D: validity metrics
 // discriminate representative from unrepresentative synthetic data.
 func BenchmarkE8_SimulationValidity(b *testing.B) {
-	var discriminated float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.E8SimValidity(benchSeed)
-		if err != nil {
-			b.Fatal(err)
-		}
-		ok := true
-		for _, r := range res.Results {
-			if (r.Name == "matched") != r.Valid {
-				ok = false
-			}
-		}
-		if ok {
-			discriminated = 1
-		}
-		printTableOnce("e8", res.Table.Render())
-	}
-	b.ReportMetric(discriminated, "metrics-discriminate")
+	benchExperiment(b, "e8", "discriminates")
 }
 
-// BenchmarkE9_SecureSubstrate — secure-channel throughput and boot-chain
-// tamper sweep.
+// BenchmarkE9_SecureSubstrate — secure-channel handshake and boot-chain
+// tamper sweep (throughput lives in BenchmarkSealOpen256).
 func BenchmarkE9_SecureSubstrate(b *testing.B) {
-	var rate float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.E9SecureSubstrate(benchSeed)
-		if err != nil {
-			b.Fatal(err)
-		}
-		rate = res.RecordsPerSec
-		printTableOnce("e9", res.TamperTable.Render())
-	}
-	b.ReportMetric(rate, "records/s")
+	benchExperiment(b, "e9", "tampers_detected")
 }
 
 // BenchmarkE10_SOTIFExploration — ISO 21448 unknown-space discovery: the
 // drone shrinks the unknown-unsafe area.
 func BenchmarkE10_SOTIFExploration(b *testing.B) {
-	var moved float64
-	for i := 0; i < b.N; i++ {
-		res := experiments.E10SOTIFExploration(benchSeed, 12, 25)
-		moved = float64(res.Improvement.Moved)
-		printTableOnce("e10", res.Table.Render())
-	}
-	b.ReportMetric(moved, "scenarios-made-safe-by-drone")
+	benchExperiment(b, "e10", "moved_to_safe")
 }
 
-// BenchmarkE9a_RekeySweep — ablation: rekey interval vs throughput.
+// BenchmarkE9a_RekeySweep — ablation: rekey interval vs throughput
+// (wall-clock table; no campaign metrics).
 func BenchmarkE9a_RekeySweep(b *testing.B) {
+	benchExperiment(b, "e9a")
+}
+
+// --- campaign fan-out benchmarks ---
+
+// benchCampaign fans e1 (short run) over 8 seeds with the given pool width;
+// comparing Serial vs Parallel shows the multi-seed speedup on multi-core
+// hosts.
+func benchCampaign(b *testing.B, parallel int) {
+	exp, ok := campaign.Lookup("e1")
+	if !ok {
+		b.Fatal("e1 not registered")
+	}
+	opts := campaign.Options{
+		Seeds:    campaign.SeedRange{Base: 1, Count: 8},
+		Parallel: parallel,
+		Params:   campaign.Params{Duration: 4 * time.Minute},
+	}
+	logs := -1.0
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.E9aRekeySweep(benchSeed)
+		res, err := campaign.Run(exp, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
-		printTableOnce("e9a", t.Render())
+		for _, a := range res.Aggregates {
+			if a.Metric == "logs/secured" {
+				logs = a.Mean
+			}
+		}
+		printTableOnce(fmt.Sprintf("campaign-e1-p%d", parallel), res.Table().Render())
 	}
+	if logs < 0 {
+		b.Fatal(`campaign e1 exported no "logs/secured" aggregate`)
+	}
+	b.ReportMetric(logs, "mean-logs/secured")
 }
+
+// BenchmarkCampaignE1_8Seeds_Serial — baseline: one worker.
+func BenchmarkCampaignE1_8Seeds_Serial(b *testing.B) { benchCampaign(b, 1) }
+
+// BenchmarkCampaignE1_8Seeds_Parallel — bounded pool at 8 workers.
+func BenchmarkCampaignE1_8Seeds_Parallel(b *testing.B) { benchCampaign(b, 8) }
 
 // --- micro-benchmarks of the secure substrate ---
 

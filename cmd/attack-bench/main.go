@@ -54,9 +54,9 @@ func run() error {
 		return err
 	}
 	if *csv {
-		fmt.Print(agility.CSV())
+		fmt.Print(agility.Table.CSV())
 	} else {
-		fmt.Print(agility.Render())
+		fmt.Print(agility.Table.Render())
 	}
 	return nil
 }

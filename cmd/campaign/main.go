@@ -1,0 +1,141 @@
+// Command campaign runs Monte-Carlo scenario campaigns: any subset of the
+// registered experiments, fanned out over a seed range with a bounded worker
+// pool, with per-metric mean / stddev / 95%-CI aggregation and optional JSON
+// export.
+//
+// Usage:
+//
+//	campaign -list
+//	campaign -experiments e1,e5 -seeds 8 -seed-base 1 -parallel 8
+//	campaign -experiments all -seeds 16 -json results.json
+//
+// The seed range convention is [seed-base, seed-base+seeds); with a fixed
+// seed set the aggregate tables and the JSON export are byte-identical across
+// repeated runs regardless of -parallel.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	_ "repro/internal/experiments" // populates the campaign registry
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expList   = flag.String("experiments", "all", "comma-separated experiment IDs, or \"all\"")
+		seeds     = flag.Int("seeds", 8, "number of consecutive seeds to run")
+		seedBase  = flag.Int64("seed-base", 1, "first seed of the range")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size")
+		duration  = flag.Duration("duration", 0, "simulated duration override (0 = experiment default)")
+		trials    = flag.Int("trials", 0, "detection trials override (0 = experiment default)")
+		scenarios = flag.Int("scenarios", 0, "explored SOTIF scenarios override (0 = experiment default)")
+		jsonPath  = flag.String("json", "", "write the campaign results as JSON to this path (\"-\" = stdout)")
+		perSeed   = flag.Bool("per-seed", false, "also print every per-seed table/figure")
+		csv       = flag.Bool("csv", false, "emit aggregate tables as CSV")
+		list      = flag.Bool("list", false, "list registered experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Print(listTable().Render())
+		return nil
+	}
+	exps, err := campaign.Default.Select(strings.Split(*expList, ","))
+	if err != nil {
+		return err
+	}
+	if len(exps) == 0 {
+		return fmt.Errorf("no experiments selected")
+	}
+	opts := campaign.Options{
+		Seeds:    campaign.SeedRange{Base: *seedBase, Count: *seeds},
+		Parallel: *parallel,
+		Params:   campaign.Params{Duration: *duration, Trials: *trials, Scenarios: *scenarios},
+	}
+
+	// With -json - the JSON stream owns stdout; table renderings are
+	// suppressed so the output stays parseable.
+	jsonToStdout := *jsonPath == "-"
+
+	start := time.Now()
+	var results []*campaign.Result
+	for _, exp := range exps {
+		res, err := campaign.Run(exp, opts)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+		if jsonToStdout {
+			continue
+		}
+		if *perSeed {
+			for i, out := range res.Outcomes {
+				fmt.Printf("--- %s seed %d ---\n", res.ExperimentID, res.PerSeed[i].Seed)
+				for _, t := range out.Tables {
+					fmt.Println(t.Render())
+				}
+				for _, f := range out.Figures {
+					fmt.Println(f.Render())
+				}
+			}
+		}
+		t := res.Table()
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.Render())
+		}
+		fmt.Println()
+	}
+	fmt.Fprintf(os.Stderr, "campaign: %d experiment(s) x %d seed(s), parallel %d, %.2fs wall\n",
+		len(results), *seeds, *parallel, time.Since(start).Seconds())
+
+	if *jsonPath != "" {
+		return writeJSON(*jsonPath, results)
+	}
+	return nil
+}
+
+func listTable() *report.Table {
+	t := report.NewTable("registered experiments", "id", "section", "description")
+	for _, e := range campaign.Default.All() {
+		t.AddRow(e.ID, e.Section, e.Description)
+	}
+	return t
+}
+
+func writeJSON(path string, results []*campaign.Result) error {
+	var b strings.Builder
+	b.WriteString("[\n")
+	for i, r := range results {
+		j, err := r.JSON()
+		if err != nil {
+			return err
+		}
+		b.Write(j)
+		if i < len(results)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("]\n")
+	if path == "-" {
+		_, err := os.Stdout.WriteString(b.String())
+		return err
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

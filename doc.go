@@ -6,8 +6,9 @@
 // combined safety–security risk-assessment methodology it proposes, and the
 // assurance-case and CE-conformity machinery it argues for.
 //
-// See README.md for the architecture overview, DESIGN.md for the system
-// inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
-// results. The benchmark harness in bench_test.go regenerates every table
-// and figure.
+// See README.md for the architecture overview, the package map, and how to
+// run the benchmarks and Monte-Carlo campaigns. The benchmark harness in
+// bench_test.go regenerates every table and figure through the experiment
+// registry (internal/campaign); the campaign CLI (cmd/campaign) fans any
+// registered experiment out over seed ranges with statistical aggregation.
 package repro

@@ -31,6 +31,6 @@ func run() error {
 		last.Occlusion, 100*last.MissFwOnly, 100*last.MissWithDrone)
 
 	fmt.Println()
-	fmt.Print(experiments.E2aFusionPolicy(42, 80).Render())
+	fmt.Print(experiments.E2aFusionPolicy(42, 80).Table.Render())
 	return nil
 }

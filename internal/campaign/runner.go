@@ -1,0 +1,226 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/report"
+)
+
+// SeedRange is the campaign seed convention: Count consecutive seeds starting
+// at Base (Base, Base+1, ..., Base+Count-1).
+type SeedRange struct {
+	Base  int64 `json:"base"`
+	Count int   `json:"count"`
+}
+
+// Seeds expands the range.
+func (s SeedRange) Seeds() []int64 {
+	out := make([]int64, 0, s.Count)
+	for i := 0; i < s.Count; i++ {
+		out = append(out, s.Base+int64(i))
+	}
+	return out
+}
+
+func (s SeedRange) String() string {
+	if s.Count == 1 {
+		return fmt.Sprintf("seed %d", s.Base)
+	}
+	return fmt.Sprintf("seeds %d..%d", s.Base, s.Base+int64(s.Count)-1)
+}
+
+// Options configures a campaign over one experiment.
+type Options struct {
+	// Seeds is the seed range to fan out over.
+	Seeds SeedRange
+	// Parallel bounds the worker pool (clamped to [1, Seeds.Count]).
+	Parallel int
+	// Params is the per-run parameter template; Seed is overridden per seed
+	// and zero fields are filled from the experiment defaults.
+	Params Params
+}
+
+// SeedRun is the per-seed record of a campaign.
+type SeedRun struct {
+	Seed    int64              `json:"seed"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Aggregate summarises one metric across all seeds of a campaign. CI95Lo/Hi
+// use the normal approximation mean ± 1.96·s/√n with the sample standard
+// deviation s; with a single seed the interval collapses to the mean.
+type Aggregate struct {
+	Metric string  `json:"metric"`
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	CI95Lo float64 `json:"ci95Lo"`
+	CI95Hi float64 `json:"ci95Hi"`
+}
+
+// Result is the outcome of one experiment campaigned over a seed range.
+type Result struct {
+	ExperimentID string      `json:"experimentId"`
+	Section      string      `json:"section,omitempty"`
+	Description  string      `json:"description,omitempty"`
+	Params       Params      `json:"params"`
+	Seeds        SeedRange   `json:"seeds"`
+	PerSeed      []SeedRun   `json:"perSeed"`
+	Aggregates   []Aggregate `json:"aggregates"`
+
+	// Outcomes holds the full per-seed artifacts (tables/figures), ordered
+	// like PerSeed. Excluded from JSON: the JSON export is the metric record.
+	Outcomes []Outcome `json:"-"`
+}
+
+// Run fans exp out over the seed range with a bounded worker pool and
+// aggregates the per-seed metrics. The per-seed result order is the seed
+// order regardless of scheduling, so output is independent of Parallel.
+func Run(exp Experiment, opts Options) (*Result, error) {
+	seeds := opts.Seeds.Seeds()
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("campaign %s: empty seed range", exp.ID)
+	}
+	if exp.SeedIndependent {
+		// One run tells the whole story; n=1 in the aggregate is honest.
+		seeds = seeds[:1]
+		opts.Seeds = SeedRange{Base: seeds[0], Count: 1}
+	}
+	workers := opts.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	params := opts.Params.WithDefaults(exp.Defaults)
+
+	type slot struct {
+		out Outcome
+		err error
+	}
+	slots := make([]slot, len(seeds))
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(seeds) {
+					return
+				}
+				p := params
+				p.Seed = seeds[i]
+				out, err := exp.Run(p)
+				slots[i] = slot{out: out, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := &Result{
+		ExperimentID: exp.ID,
+		Section:      exp.Section,
+		Description:  exp.Description,
+		Params:       params,
+		Seeds:        opts.Seeds,
+	}
+	for i, s := range slots {
+		if s.err != nil {
+			return nil, fmt.Errorf("campaign %s seed %d: %w", exp.ID, seeds[i], s.err)
+		}
+		res.PerSeed = append(res.PerSeed, SeedRun{Seed: seeds[i], Metrics: s.out.Metrics})
+		res.Outcomes = append(res.Outcomes, s.out)
+	}
+	res.Aggregates = aggregate(res.PerSeed)
+	return res, nil
+}
+
+// aggregate computes per-metric summaries over the union of metric keys,
+// sorted by metric name for deterministic output.
+func aggregate(runs []SeedRun) []Aggregate {
+	byMetric := make(map[string][]float64)
+	for _, r := range runs {
+		for k, v := range r.Metrics {
+			byMetric[k] = append(byMetric[k], v)
+		}
+	}
+	names := make([]string, 0, len(byMetric))
+	for k := range byMetric {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+
+	out := make([]Aggregate, 0, len(names))
+	for _, name := range names {
+		vs := byMetric[name]
+		a := Aggregate{Metric: name, N: len(vs), Min: math.Inf(1), Max: math.Inf(-1)}
+		var sum float64
+		for _, v := range vs {
+			sum += v
+			if v < a.Min {
+				a.Min = v
+			}
+			if v > a.Max {
+				a.Max = v
+			}
+		}
+		a.Mean = sum / float64(len(vs))
+		if len(vs) > 1 {
+			var ss float64
+			for _, v := range vs {
+				d := v - a.Mean
+				ss += d * d
+			}
+			a.Stddev = math.Sqrt(ss / float64(len(vs)-1))
+		}
+		half := 1.96 * a.Stddev / math.Sqrt(float64(len(vs)))
+		a.CI95Lo = a.Mean - half
+		a.CI95Hi = a.Mean + half
+		out = append(out, a)
+	}
+	return out
+}
+
+// Table renders the aggregate summary as a report.Table.
+func (r *Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("campaign %s (%s): %s, n=%d",
+			r.ExperimentID, r.Section, r.Seeds, r.Seeds.Count),
+		"metric", "n", "mean", "stddev", "min", "max", "ci95_lo", "ci95_hi")
+	for _, a := range r.Aggregates {
+		t.AddRow(a.Metric, a.N, a.Mean, a.Stddev, a.Min, a.Max, a.CI95Lo, a.CI95Hi)
+	}
+	return t
+}
+
+// JSON renders the result as indented JSON. Map keys marshal sorted, and no
+// wall-clock data is included, so the export is byte-reproducible for a fixed
+// seed set.
+func (r *Result) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// RunAll campaigns each experiment in turn over the same seed range. The
+// per-experiment fan-out is parallel; experiments run sequentially so their
+// summary tables stream in a stable order.
+func RunAll(exps []Experiment, opts Options) ([]*Result, error) {
+	out := make([]*Result, 0, len(exps))
+	for _, e := range exps {
+		res, err := Run(e, opts)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

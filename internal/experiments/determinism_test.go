@@ -1,0 +1,59 @@
+package experiments
+
+// Determinism regression tests: the parallel campaign runner (and the whole
+// "identical adversary schedule" comparison methodology of E5) depends on
+// every experiment being a pure function of its seed. Running the same
+// experiment twice with the same seed must produce byte-identical rendered
+// tables — any drift here (map-iteration order leaking into a table,
+// wall-clock values in a rendered cell, shared mutable state) breaks the
+// Monte-Carlo aggregation guarantees.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestE1DeterministicRendering(t *testing.T) {
+	run := func() string {
+		res, err := E1WorksiteBaseline(42, 10*time.Minute)
+		if err != nil {
+			t.Fatalf("E1: %v", err)
+		}
+		return res.Table.Render()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("E1 table not byte-identical across same-seed runs:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+func TestE5DeterministicRendering(t *testing.T) {
+	run := func() string {
+		res, err := E5AttackMatrix(42, 6*time.Minute)
+		if err != nil {
+			t.Fatalf("E5: %v", err)
+		}
+		return res.Table.Render()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("E5 table not byte-identical across same-seed runs:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestE1SeedSensitivity guards the other direction: different seeds must
+// actually produce different trajectories, otherwise the campaign's seed
+// sweep measures nothing.
+func TestE1SeedSensitivity(t *testing.T) {
+	one, err := E1WorksiteBaseline(1, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := E1WorksiteBaseline(2, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Table.Render() == two.Table.Render() {
+		t.Fatal("seeds 1 and 2 produced identical E1 tables; seed plumbing broken")
+	}
+}

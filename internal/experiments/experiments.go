@@ -96,19 +96,35 @@ func E2DronePOV(seed int64, trials int) E2Result {
 	return res
 }
 
+// E2aPoint is one confirmation-policy cell of the fusion ablation.
+type E2aPoint struct {
+	ConfirmHits   int
+	MissFwOnly    float64
+	MissWithDrone float64
+}
+
+// E2aResult is the fusion-policy ablation result.
+type E2aResult struct {
+	Points []E2aPoint
+	Table  *report.Table
+}
+
 // E2aFusionPolicy is the fusion-policy ablation: confirmation threshold K
 // trades detection latency/false alarms.
-func E2aFusionPolicy(seed int64, trials int) *report.Table {
+func E2aFusionPolicy(seed int64, trials int) E2aResult {
 	t := report.NewTable(
 		fmt.Sprintf("E2a: fusion confirmation policy ablation (occlusion 0.25, %d trials)", trials),
 		"confirm_hits", "miss_rate_fw_only", "miss_rate_with_drone")
 	sc := sotif.Scenario{ID: "policy", OcclusionDensity: 0.25}
+	var res E2aResult
 	for _, k := range []int{1, 2, 3} {
 		m0 := core.DetectionMissRateWithPolicy(seed, sc, false, trials, k)
 		m1 := core.DetectionMissRateWithPolicy(seed, sc, true, trials, k)
 		t.AddRow(k, m0, m1)
+		res.Points = append(res.Points, E2aPoint{ConfirmHits: k, MissFwOnly: m0, MissWithDrone: m1})
 	}
-	return t
+	res.Table = t
+	return res
 }
 
 // E3CharacteristicTable regenerates the paper's Table I from the risk
@@ -244,9 +260,25 @@ func runAttackScenario(seed int64, d time.Duration, attackName string, profile w
 	return site.Run(d)
 }
 
+// E5bRow is one agility cell of the availability ablation.
+type E5bRow struct {
+	Agility     bool
+	Logs        int
+	ChannelHops int
+	JammedDrops int64
+	LinkAlerts  int
+}
+
+// E5bResult is the channel-agility ablation result.
+type E5bResult struct {
+	Rows  []E5bRow
+	Table *report.Table
+}
+
 // E5bChannelAgility is the availability ablation: a narrowband jammer against
 // the secured site with and without the channel-agility response.
-func E5bChannelAgility(seed int64, d time.Duration) (*report.Table, error) {
+func E5bChannelAgility(seed int64, d time.Duration) (E5bResult, error) {
+	var res E5bResult
 	t := report.NewTable(
 		fmt.Sprintf("E5b: narrowband jamming vs channel agility, %v simulated", d),
 		"agility", "logs", "channel_hops", "jammed_drops", "link_alerts")
@@ -256,7 +288,7 @@ func E5bChannelAgility(seed int64, d time.Duration) (*report.Table, error) {
 		cfg.Profile.ChannelAgility = agility
 		site, err := worksite.New(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("e5b: %w", err)
+			return E5bResult{}, fmt.Errorf("e5b: %w", err)
 		}
 		mid := geo.V(0.5*site.Grid().Width(), 0.5*site.Grid().Height())
 		c := attack.NewCampaign()
@@ -265,12 +297,20 @@ func E5bChannelAgility(seed int64, d time.Duration) (*report.Table, error) {
 		c.Schedule(site.Scheduler())
 		rep, err := site.Run(d)
 		if err != nil {
-			return nil, fmt.Errorf("e5b: %w", err)
+			return E5bResult{}, fmt.Errorf("e5b: %w", err)
 		}
-		t.AddRow(agility, rep.Metrics.LogsDelivered, rep.Metrics.ChannelHops,
-			rep.Radio["jammed"], rep.Alerts["link-degraded"])
+		row := E5bRow{
+			Agility:     agility,
+			Logs:        rep.Metrics.LogsDelivered,
+			ChannelHops: rep.Metrics.ChannelHops,
+			JammedDrops: rep.Radio["jammed"],
+			LinkAlerts:  rep.Alerts["link-degraded"],
+		}
+		t.AddRow(row.Agility, row.Logs, row.ChannelHops, row.JammedDrops, row.LinkAlerts)
+		res.Rows = append(res.Rows, row)
 	}
-	return t, nil
+	res.Table = t
+	return res, nil
 }
 
 // E5aIDSLatency measures the IDS ablation: with the IDS on, how quickly the

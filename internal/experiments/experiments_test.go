@@ -42,9 +42,9 @@ func TestE2DronePOVShape(t *testing.T) {
 }
 
 func TestE2aFusionPolicy(t *testing.T) {
-	tab := E2aFusionPolicy(7, 30)
-	if tab.Rows() != 3 {
-		t.Fatalf("rows = %d, want 3 policies", tab.Rows())
+	res := E2aFusionPolicy(7, 30)
+	if res.Table.Rows() != 3 || len(res.Points) != 3 {
+		t.Fatalf("rows = %d points = %d, want 3 policies", res.Table.Rows(), len(res.Points))
 	}
 }
 
@@ -104,14 +104,14 @@ func TestE5MatrixShape(t *testing.T) {
 }
 
 func TestE5bChannelAgility(t *testing.T) {
-	tab, err := E5bChannelAgility(17, 12*time.Minute)
+	res, err := E5bChannelAgility(17, 12*time.Minute)
 	if err != nil {
 		t.Fatalf("E5b: %v", err)
 	}
-	if tab.Rows() != 2 {
-		t.Fatalf("rows = %d", tab.Rows())
+	if res.Table.Rows() != 2 || len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", res.Table.Rows())
 	}
-	out := tab.Render()
+	out := res.Table.Render()
 	if !strings.Contains(out, "true") {
 		t.Fatalf("agility row missing:\n%s", out)
 	}
@@ -196,7 +196,7 @@ func TestE10SOTIFExploration(t *testing.T) {
 }
 
 func TestE9SecureSubstrate(t *testing.T) {
-	res, err := E9SecureSubstrate(5)
+	res, err := E9SecureSubstrate(5, 2000)
 	if err != nil {
 		t.Fatalf("E9: %v", err)
 	}

@@ -164,10 +164,12 @@ type E9Result struct {
 	TamperTable   *report.Table
 }
 
-// E9SecureSubstrate measures one handshake + a record loop (wall-clock, for
-// the table; precise costs come from the testing.B benchmarks) and sweeps
-// boot-chain tamper scenarios.
-func E9SecureSubstrate(seed int64) (E9Result, error) {
+// E9SecureSubstrate performs one handshake, optionally measures a wall-clock
+// record loop (records > 0; precise costs come from the testing.B
+// benchmarks), and sweeps boot-chain tamper scenarios. The campaign path
+// passes records = 0: it keeps only the deterministic outcomes, so paying
+// for a throughput measurement it would discard is pointless.
+func E9SecureSubstrate(seed int64, records int) (E9Result, error) {
 	var res E9Result
 	init, resp, err := NewChannelPair(seed, 0)
 	if err != nil {
@@ -175,21 +177,22 @@ func E9SecureSubstrate(seed int64) (E9Result, error) {
 	}
 	res.HandshakeOK = init.Established() && resp.Established()
 
-	const records = 5000
-	payload := make([]byte, 256)
-	start := time.Now()
-	for i := 0; i < records; i++ {
-		rec, err := init.Seal(payload)
-		if err != nil {
-			return E9Result{}, fmt.Errorf("e9 seal: %w", err)
+	if records > 0 {
+		payload := make([]byte, 256)
+		start := time.Now()
+		for i := 0; i < records; i++ {
+			rec, err := init.Seal(payload)
+			if err != nil {
+				return E9Result{}, fmt.Errorf("e9 seal: %w", err)
+			}
+			if _, err := resp.Open(rec); err != nil {
+				return E9Result{}, fmt.Errorf("e9 open: %w", err)
+			}
 		}
-		if _, err := resp.Open(rec); err != nil {
-			return E9Result{}, fmt.Errorf("e9 open: %w", err)
+		el := time.Since(start).Seconds()
+		if el > 0 {
+			res.RecordsPerSec = float64(records) / el
 		}
-	}
-	el := time.Since(start).Seconds()
-	if el > 0 {
-		res.RecordsPerSec = records / el
 	}
 
 	res.TamperTable, err = bootTamperSweep(seed)
