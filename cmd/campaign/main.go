@@ -8,6 +8,12 @@
 //	campaign -list
 //	campaign -experiments e1,e5 -seeds 8 -seed-base 1 -parallel 8
 //	campaign -experiments all -seeds 16 -json results.json
+//	campaign -sweep -scenarios all -profiles unsecured,secured -seeds 8
+//	campaign -sweep -scenarios rf-jamming,harsh-weather -duration 5m
+//
+// With -sweep the campaign fans the cross-product scenario × profile × seed
+// out instead of the registered experiments: -scenarios selects named catalog
+// scenarios (internal/scenario) and -profiles the defence selections.
 //
 // The seed range convention is [seed-base, seed-base+seeds); with a fixed
 // seed set the aggregate tables and the JSON export are byte-identical across
@@ -25,6 +31,7 @@ import (
 	"repro/internal/campaign"
 	_ "repro/internal/experiments" // populates the campaign registry
 	"repro/internal/report"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -42,17 +49,48 @@ func run() error {
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size")
 		duration  = flag.Duration("duration", 0, "simulated duration override (0 = experiment default)")
 		trials    = flag.Int("trials", 0, "detection trials override (0 = experiment default)")
-		scenarios = flag.Int("scenarios", 0, "explored SOTIF scenarios override (0 = experiment default)")
+		scenarios = flag.Int("sotif-scenarios", 0, "explored SOTIF scenarios override (0 = experiment default)")
 		jsonPath  = flag.String("json", "", "write the campaign results as JSON to this path (\"-\" = stdout)")
 		perSeed   = flag.Bool("per-seed", false, "also print every per-seed table/figure")
 		csv       = flag.Bool("csv", false, "emit aggregate tables as CSV")
-		list      = flag.Bool("list", false, "list registered experiments and exit")
+		list      = flag.Bool("list", false, "list registered experiments and scenarios, then exit")
+		sweep     = flag.Bool("sweep", false, "sweep scenario x profile x seed instead of running experiments")
+		scenList  = flag.String("scenarios", "all", "comma-separated catalog scenario names for -sweep, or \"all\"")
+		profList  = flag.String("profiles", strings.Join(scenario.Profiles(), ","), "comma-separated security profiles for -sweep")
 	)
 	flag.Parse()
 
+	// Flags belong to one mode; reject cross-mode use instead of silently
+	// ignoring it (-scenarios in particular used to be the SOTIF count
+	// override, now -sotif-scenarios).
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if !*sweep {
+		for _, name := range []string{"scenarios", "profiles"} {
+			if set[name] {
+				return fmt.Errorf("-%s requires -sweep (the SOTIF count override is -sotif-scenarios)", name)
+			}
+		}
+	} else {
+		for _, name := range []string{"experiments", "trials", "sotif-scenarios", "per-seed"} {
+			if set[name] {
+				return fmt.Errorf("-%s does not apply to -sweep", name)
+			}
+		}
+	}
+
 	if *list {
+		st, err := scenarioTable()
+		if err != nil {
+			return err
+		}
 		fmt.Print(listTable().Render())
+		fmt.Println()
+		fmt.Print(st.Render())
 		return nil
+	}
+	if *sweep {
+		return runSweep(*scenList, *profList, *seeds, *seedBase, *parallel, *duration, *jsonPath, *csv)
 	}
 	exps, err := campaign.Default.Select(strings.Split(*expList, ","))
 	if err != nil {
@@ -110,12 +148,71 @@ func run() error {
 	return nil
 }
 
+func runSweep(scenList, profList string, seeds int, seedBase int64, parallel int, duration time.Duration, jsonPath string, csv bool) error {
+	split := func(s string) []string {
+		var out []string
+		for _, part := range strings.Split(s, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				out = append(out, part)
+			}
+		}
+		return out
+	}
+	opts := campaign.SweepOptions{
+		Scenarios: split(scenList),
+		Profiles:  split(profList),
+		Seeds:     campaign.SeedRange{Base: seedBase, Count: seeds},
+		Parallel:  parallel,
+		Duration:  duration,
+	}
+	start := time.Now()
+	res, err := campaign.Sweep(opts)
+	if err != nil {
+		return err
+	}
+	jsonToStdout := jsonPath == "-"
+	if !jsonToStdout {
+		t := res.Table()
+		if csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.Render())
+		}
+	}
+	fmt.Fprintf(os.Stderr, "campaign: sweep of %d cell(s) x %d seed(s), parallel %d, %.2fs wall\n",
+		len(res.Cells), seeds, parallel, time.Since(start).Seconds())
+	if jsonPath != "" {
+		j, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		if jsonToStdout {
+			_, err = os.Stdout.Write(append(j, '\n'))
+			return err
+		}
+		return os.WriteFile(jsonPath, append(j, '\n'), 0o644)
+	}
+	return nil
+}
+
 func listTable() *report.Table {
 	t := report.NewTable("registered experiments", "id", "section", "description")
 	for _, e := range campaign.Default.All() {
 		t.AddRow(e.ID, e.Section, e.Description)
 	}
 	return t
+}
+
+func scenarioTable() (*report.Table, error) {
+	t := report.NewTable("scenario catalog (for -sweep / worksite-sim -scenario)", "name", "description")
+	for _, name := range scenario.List() {
+		s, err := scenario.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name, s.Description)
+	}
+	return t, nil
 }
 
 func writeJSON(path string, results []*campaign.Result) error {

@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	worksite-sim [-seed N] [-duration 30m] [-secured] [-attack NAME] [-json]
+//	worksite-sim [-seed N] [-duration 30m] [-secured] [-scenario NAME] [-json]
+//	worksite-sim -scenario-file spec.json
+//	worksite-sim -attack NAME        # sugar for -scenario NAME
+//	worksite-sim -list-scenarios
 //
-// Attack names: none, rf-jamming, deauth-flood, gnss-spoof, gnss-jam,
-// camera-blind, command-injection.
+// Scenarios come from the named catalog in internal/scenario (run with
+// -list-scenarios to enumerate them) or from a JSON spec file. The accepted
+// -attack names are derived from the scenario arming registry, so the help
+// text can never drift from the implemented attack classes.
 package main
 
 import (
@@ -16,11 +21,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
-	"repro/internal/attack"
-	"repro/internal/geo"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/worksite"
 )
 
@@ -36,22 +41,40 @@ func run() error {
 		seed     = flag.Int64("seed", 42, "experiment seed")
 		duration = flag.Duration("duration", 30*time.Minute, "simulated duration")
 		secured  = flag.Bool("secured", false, "enable the full security stack")
-		attackNm = flag.String("attack", "none", "attack to run (none|rf-jamming|deauth-flood|gnss-spoof|gnss-jam|camera-blind|command-injection)")
+		scenName = flag.String("scenario", "", "named catalog scenario to run (see -list-scenarios)")
+		specFile = flag.String("scenario-file", "", "JSON scenario spec file (fields overlay the baseline)")
+		attackNm = flag.String("attack", "none",
+			"attack scenario sugar (accepted: none|"+strings.Join(scenario.AttackNames(), "|")+")")
 		asJSON   = flag.Bool("json", false, "emit the report as JSON")
 		showMap  = flag.Bool("map", false, "print the ASCII worksite map before and after the run")
 		timeline = flag.Int("timeline", 0, "print up to N operational timeline events after the run")
+		listScen = flag.Bool("list-scenarios", false, "list the scenario catalog and exit")
 	)
 	flag.Parse()
 
-	cfg := worksite.DefaultConfig(*seed)
-	if *secured {
-		cfg.Profile = worksite.Secured()
+	if *listScen {
+		t := report.NewTable("scenario catalog", "name", "attacks", "description")
+		for _, name := range scenario.List() {
+			s, err := scenario.Get(name)
+			if err != nil {
+				return err
+			}
+			t.AddRow(name, len(s.Attacks), s.Description)
+		}
+		fmt.Print(t.Render())
+		return nil
 	}
-	site, err := worksite.New(cfg)
+
+	spec, err := resolveSpec(*scenName, *specFile, *attackNm)
 	if err != nil {
 		return err
 	}
-	if err := armAttack(site, *attackNm, *duration); err != nil {
+	if *secured {
+		spec.Profile = worksite.Secured()
+	}
+
+	site, _, err := scenario.Build(spec, *seed, *duration)
+	if err != nil {
 		return err
 	}
 	if *showMap {
@@ -75,52 +98,37 @@ func run() error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(rep)
 	}
-	printReport(rep, *attackNm, *secured)
+	printReport(rep, spec)
 	return nil
 }
 
-func armAttack(site *worksite.Site, name string, d time.Duration) error {
-	if name == "none" {
-		return nil
-	}
-	start, stop := d/10, d*8/10
-	c := attack.NewCampaign()
-	switch name {
-	case "rf-jamming":
-		mid := geo.V(0.5*site.Grid().Width(), 0.5*site.Grid().Height())
-		c.Add(start, stop, attack.NewJamming(site.Medium(), "jam", mid, 1, 38, true))
-	case "deauth-flood":
-		c.Add(start, stop, attack.NewDeauthFlood(
-			site.AttackerAdapter(), worksite.NodeForwarder, worksite.NodeCoordinator, 200*time.Millisecond))
-	case "gnss-spoof":
-		c.Add(start, stop, attack.NewGNSSSpoof(site.ForwarderGNSS(), geo.V(60, 40)))
-	case "gnss-jam":
-		c.Add(start, stop, attack.NewGNSSJam(site.ForwarderGNSS()))
-	case "camera-blind":
-		c.Add(start, stop, attack.NewCameraBlind("camera-blind", func(b bool) {
-			site.ForwarderCamera().Blinded = b
-		}))
-	case "command-injection":
-		c.Add(start, stop, attack.NewCommandInjection(
-			site.AttackerAdapter(), worksite.NodeCoordinator, worksite.NodeForwarder,
-			func() []byte {
-				return []byte(`{"type":"command","from":"coordinator","command":"clear-stops"}`)
-			}, time.Second))
+// resolveSpec picks the scenario source: an explicit spec file wins, then a
+// named catalog scenario, then the -attack sugar (which resolves through the
+// same catalog; "none" is the clean baseline).
+func resolveSpec(scenName, specFile, attackNm string) (scenario.Spec, error) {
+	switch {
+	case specFile != "":
+		return scenario.LoadFile(specFile)
+	case scenName != "":
+		return scenario.Get(scenName)
 	default:
-		return fmt.Errorf("unknown attack %q", name)
+		return scenario.ForAttack(attackNm)
 	}
-	c.Schedule(site.Scheduler())
-	return nil
 }
 
-func printReport(rep worksite.Report, attackNm string, secured bool) {
-	profile := "unsecured"
-	if secured {
+func printReport(rep worksite.Report, spec scenario.Spec) {
+	var profile string
+	switch spec.Profile {
+	case worksite.Unsecured():
+		profile = "unsecured"
+	case worksite.Secured():
 		profile = "secured"
+	default:
+		profile = "custom"
 	}
 	m := rep.Metrics
 	t := report.NewTable(
-		fmt.Sprintf("Worksite run: %v simulated, profile=%s, attack=%s", rep.Duration, profile, attackNm),
+		fmt.Sprintf("Worksite run: %v simulated, profile=%s, scenario=%s", rep.Duration, profile, spec.Name),
 		"metric", "value")
 	t.AddRow("logs delivered", m.LogsDelivered)
 	t.AddRow("empty deliveries", m.EmptyDeliveries)

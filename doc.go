@@ -11,4 +11,12 @@
 // bench_test.go regenerates every table and figure through the experiment
 // registry (internal/campaign); the campaign CLI (cmd/campaign) fans any
 // registered experiment out over seed ranges with statistical aggregation.
+//
+// Operational situations are declarative: internal/scenario defines a
+// JSON-serializable Spec (site, weather, workers, drone, fusion policy,
+// security profile, attack schedule as data), a named catalog of standard
+// scenarios, and the attack-arming registry every harness resolves attack
+// names through. cmd/campaign -sweep fans the scenario x profile x seed
+// cross-product out over the campaign worker pool; cmd/worksite-sim runs a
+// single named scenario or a JSON spec file.
 package repro

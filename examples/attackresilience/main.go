@@ -1,9 +1,13 @@
-// Attackresilience runs the same multi-phase attack campaign — de-auth
-// flood, command injection, GNSS spoofing, wideband jamming — against the
-// unsecured and the secured worksite, under identical seeds, and compares
-// the outcome. This is Section III-B's interplay claim made executable:
-// cyber attacks on an unsecured site produce unsafe machine behaviour; the
-// secured site converts them into detected, fail-safe events.
+// Attackresilience runs the catalog's "multi-attack" scenario — a phased
+// campaign of de-auth flooding, command injection, GNSS spoofing and
+// wideband jamming — against the unsecured and the secured worksite, under
+// identical seeds, and compares the outcome. This is Section III-B's
+// interplay claim made executable: cyber attacks on an unsecured site
+// produce unsafe machine behaviour; the secured site converts them into
+// detected, fail-safe events.
+//
+// The whole adversary schedule is data (internal/scenario's multi-attack
+// spec); this example only swaps the security profile between runs.
 //
 //	go run ./examples/attackresilience
 package main
@@ -13,9 +17,8 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/attack"
-	"repro/internal/geo"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/worksite"
 )
 
@@ -27,8 +30,16 @@ func main() {
 }
 
 func run() error {
-	const d = 20 * time.Minute
-	t := report.NewTable("Multi-attack campaign: unsecured vs secured worksite (seed 42)",
+	const (
+		seed = 42
+		d    = 20 * time.Minute
+	)
+	spec, err := scenario.Get("multi-attack")
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Multi-attack campaign: unsecured vs secured worksite (seed %d)", seed),
 		"profile", "logs", "nav_err_max_m", "cmds_applied", "forgeries_blocked",
 		"unsafe_episodes", "collisions", "alert_types")
 	for _, prof := range []struct {
@@ -38,7 +49,7 @@ func run() error {
 		{"unsecured", worksite.Unsecured()},
 		{"secured", worksite.Secured()},
 	} {
-		rep, err := campaign(prof.profile, d)
+		rep, err := scenario.Run(spec.WithProfile(prof.profile), seed, d)
 		if err != nil {
 			return err
 		}
@@ -48,28 +59,4 @@ func run() error {
 	}
 	fmt.Print(t.Render())
 	return nil
-}
-
-func campaign(profile worksite.SecurityProfile, d time.Duration) (worksite.Report, error) {
-	cfg := worksite.DefaultConfig(42)
-	cfg.Profile = profile
-	site, err := worksite.New(cfg)
-	if err != nil {
-		return worksite.Report{}, err
-	}
-	c := attack.NewCampaign()
-	c.Add(2*time.Minute, 6*time.Minute, attack.NewDeauthFlood(
-		site.AttackerAdapter(), worksite.NodeForwarder, worksite.NodeCoordinator, 200*time.Millisecond))
-	c.Add(6*time.Minute, 10*time.Minute, attack.NewCommandInjection(
-		site.AttackerAdapter(), worksite.NodeCoordinator, worksite.NodeForwarder,
-		func() []byte {
-			return []byte(`{"type":"command","from":"coordinator","command":"clear-stops"}`)
-		}, time.Second))
-	c.Add(10*time.Minute, 14*time.Minute,
-		attack.NewGNSSSpoof(site.ForwarderGNSS(), geo.V(60, 40)))
-	mid := geo.V(0.5*site.Grid().Width(), 0.5*site.Grid().Height())
-	c.Add(14*time.Minute, 18*time.Minute,
-		attack.NewJamming(site.Medium(), "jam", mid, 1, 38, true))
-	c.Schedule(site.Scheduler())
-	return site.Run(d)
 }

@@ -1,0 +1,164 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/worksite"
+)
+
+// SweepOptions configures a scenario sweep: the cross-product of named
+// catalog scenarios × security profiles × seeds.
+type SweepOptions struct {
+	// Scenarios are catalog names. Empty (or the single element "all")
+	// selects the whole catalog.
+	Scenarios []string
+	// Profiles are named defence selections (scenario.Profiles). Empty
+	// selects every named profile — the paper's unsecured-vs-secured axis.
+	Profiles []string
+	// Seeds is the seed range each cell fans out over.
+	Seeds SeedRange
+	// Parallel bounds the per-cell worker pool.
+	Parallel int
+	// Duration is the simulated duration per run (0 = 10 minutes).
+	Duration time.Duration
+}
+
+// DefaultSweepDuration is the per-run simulated duration when none is given.
+const DefaultSweepDuration = 10 * time.Minute
+
+// SweepCell is one (scenario, profile) cell with its per-seed runs and
+// aggregates.
+type SweepCell struct {
+	Scenario string  `json:"scenario"`
+	Profile  string  `json:"profile"`
+	Result   *Result `json:"result"`
+}
+
+// SweepResult is the outcome of a full scenario × profile × seed sweep.
+// Cells are ordered scenario-major in the requested order, so rendering and
+// JSON export are deterministic.
+type SweepResult struct {
+	Duration time.Duration `json:"durationNs"`
+	Seeds    SeedRange     `json:"seeds"`
+	Cells    []SweepCell   `json:"cells"`
+}
+
+// Sweep fans the scenario × profile × seed cross-product out with the
+// existing bounded pool and aggregation machinery: each cell becomes an
+// ephemeral experiment campaigned over the seed range, so per-cell output is
+// byte-reproducible regardless of Parallel.
+func Sweep(opts SweepOptions) (*SweepResult, error) {
+	names := opts.Scenarios
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		names = scenario.List()
+	}
+	profiles := opts.Profiles
+	if len(profiles) == 0 {
+		profiles = scenario.Profiles()
+	}
+	d := opts.Duration
+	if d <= 0 {
+		d = DefaultSweepDuration
+	}
+
+	res := &SweepResult{Duration: d, Seeds: opts.Seeds}
+	for _, name := range names {
+		spec, err := scenario.Get(name)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		for _, profName := range profiles {
+			prof, err := scenario.ResolveProfile(profName)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %w", err)
+			}
+			cellSpec := spec.WithProfile(prof)
+			exp := Experiment{
+				ID:          name + "/" + profName,
+				Section:     "sweep",
+				Description: spec.Description,
+				Defaults:    Params{Duration: d},
+				Run: func(p Params) (Outcome, error) {
+					rep, err := scenario.Run(cellSpec, p.Seed, p.Duration)
+					if err != nil {
+						return Outcome{}, err
+					}
+					return Outcome{Metrics: SweepMetrics(rep)}, nil
+				},
+			}
+			cell, err := Run(exp, Options{Seeds: opts.Seeds, Parallel: opts.Parallel})
+			if err != nil {
+				return nil, fmt.Errorf("sweep %s: %w", exp.ID, err)
+			}
+			res.Cells = append(res.Cells, SweepCell{Scenario: name, Profile: profName, Result: cell})
+		}
+	}
+	return res, nil
+}
+
+// SweepMetrics flattens a worksite report into the sweep's per-seed metric
+// record. Scenario and profile are cell axes, so keys carry no prefix.
+func SweepMetrics(rep worksite.Report) map[string]float64 {
+	m := rep.Metrics
+	out := map[string]float64{
+		"logs":              float64(m.LogsDelivered),
+		"distance_m":        m.DistanceM,
+		"safety_stops":      float64(m.SafetyStops),
+		"unsafe_episodes":   float64(m.UnsafeEpisodes),
+		"collisions":        float64(m.Collisions),
+		"min_worker_dist_m": m.MinWorkerDistM,
+		"nav_err_max_m":     m.NavErrMaxM,
+		"send_failures":     float64(m.SendFailures),
+		"replays_blocked":   float64(m.ReplaysBlocked),
+		"forgeries_blocked": float64(m.ForgeriesBlocked),
+		"cmds_applied":      float64(m.CommandsApplied),
+		"channel_hops":      float64(m.ChannelHops),
+		"tracks_confirmed":  float64(m.TracksConfirmed),
+		"false_alarms":      float64(m.FalseAlarms),
+	}
+	var alerts float64
+	for _, n := range rep.Alerts {
+		alerts += float64(n)
+	}
+	out["alerts_total"] = alerts
+	return out
+}
+
+// summaryMetrics are the columns of the sweep summary table, in order.
+var summaryMetrics = []string{
+	"logs", "unsafe_episodes", "collisions", "nav_err_max_m",
+	"forgeries_blocked", "replays_blocked", "alerts_total",
+}
+
+// Table renders the sweep as one summary table: a row per cell with the
+// per-metric means across seeds.
+func (r *SweepResult) Table() *report.Table {
+	cols := append([]string{"scenario", "profile"}, summaryMetrics...)
+	t := report.NewTable(
+		fmt.Sprintf("scenario sweep: %d cell(s), %s, %v simulated (per-metric means)",
+			len(r.Cells), r.Seeds, r.Duration),
+		cols...)
+	for _, c := range r.Cells {
+		means := make(map[string]float64, len(c.Result.Aggregates))
+		for _, a := range c.Result.Aggregates {
+			means[a.Metric] = a.Mean
+		}
+		row := []any{c.Scenario, c.Profile}
+		for _, k := range summaryMetrics {
+			row = append(row, means[k])
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// JSON renders the sweep as indented JSON. Like the single-experiment
+// export, it contains no wall-clock data, so a fixed seed set produces
+// byte-identical bytes regardless of Parallel.
+func (r *SweepResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,111 @@
+package campaign_test
+
+// Sweep tests: the scenario × profile × seed fan-out must reuse the bounded
+// pool's reproducibility guarantees — identical bytes regardless of the
+// worker-pool width — and keep cells in the requested scenario-major order.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+func sweepJSON(t *testing.T, parallel int) []byte {
+	t.Helper()
+	res, err := campaign.Sweep(campaign.SweepOptions{
+		Scenarios: []string{"gnss-spoof", "baseline"},
+		Seeds:     campaign.SeedRange{Base: 1, Count: 3},
+		Parallel:  parallel,
+		Duration:  4 * time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("Sweep(parallel=%d): %v", parallel, err)
+	}
+	j, err := res.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	return j
+}
+
+// TestSweepParallelEquality: the sweep export is byte-identical across
+// worker-pool widths (the E5 secured-vs-unsecured reproduction guarantee).
+func TestSweepParallelEquality(t *testing.T) {
+	serial := sweepJSON(t, 1)
+	wide := sweepJSON(t, 8)
+	if string(serial) != string(wide) {
+		t.Fatal("sweep JSON differs between parallel widths 1 and 8")
+	}
+}
+
+// TestSweepShapeAndOrder: cells come back scenario-major in request order,
+// profiles within each scenario, every cell carrying per-seed runs and
+// aggregates.
+func TestSweepShapeAndOrder(t *testing.T) {
+	res, err := campaign.Sweep(campaign.SweepOptions{
+		Scenarios: []string{"gnss-spoof", "baseline"},
+		Profiles:  []string{"unsecured", "secured"},
+		Seeds:     campaign.SeedRange{Base: 5, Count: 2},
+		Parallel:  4,
+		Duration:  4 * time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	wantCells := []struct{ scen, prof string }{
+		{"gnss-spoof", "unsecured"},
+		{"gnss-spoof", "secured"},
+		{"baseline", "unsecured"},
+		{"baseline", "secured"},
+	}
+	if len(res.Cells) != len(wantCells) {
+		t.Fatalf("cells = %d, want %d", len(res.Cells), len(wantCells))
+	}
+	for i, want := range wantCells {
+		c := res.Cells[i]
+		if c.Scenario != want.scen || c.Profile != want.prof {
+			t.Fatalf("cell %d = %s/%s, want %s/%s", i, c.Scenario, c.Profile, want.scen, want.prof)
+		}
+		if len(c.Result.PerSeed) != 2 {
+			t.Fatalf("cell %s/%s has %d per-seed runs, want 2", c.Scenario, c.Profile, len(c.Result.PerSeed))
+		}
+		if len(c.Result.Aggregates) == 0 {
+			t.Fatalf("cell %s/%s has no aggregates", c.Scenario, c.Profile)
+		}
+	}
+	// The defence axis must actually bite: spoofed nav error is worse on the
+	// unsecured profile.
+	navErr := func(i int) float64 {
+		for _, a := range res.Cells[i].Result.Aggregates {
+			if a.Metric == "nav_err_max_m" {
+				return a.Mean
+			}
+		}
+		t.Fatalf("cell %d missing nav_err_max_m", i)
+		return 0
+	}
+	if navErr(0) <= navErr(1) {
+		t.Fatalf("gnss-spoof nav error not worse unsecured (%v) than secured (%v)", navErr(0), navErr(1))
+	}
+	if res.Table().Rows() != len(wantCells) {
+		t.Fatalf("summary table rows = %d, want %d", res.Table().Rows(), len(wantCells))
+	}
+}
+
+// TestSweepRejectsUnknownNames: bad scenario or profile names fail fast.
+func TestSweepRejectsUnknownNames(t *testing.T) {
+	if _, err := campaign.Sweep(campaign.SweepOptions{
+		Scenarios: []string{"atlantis"},
+		Seeds:     campaign.SeedRange{Base: 1, Count: 1},
+	}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := campaign.Sweep(campaign.SweepOptions{
+		Scenarios: []string{"baseline"},
+		Profiles:  []string{"tinfoil"},
+		Seeds:     campaign.SeedRange{Base: 1, Count: 1},
+	}); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}

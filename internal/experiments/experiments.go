@@ -9,12 +9,10 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/attack"
 	"repro/internal/core"
-	"repro/internal/geo"
-	"repro/internal/radio"
 	"repro/internal/report"
 	"repro/internal/risk"
+	"repro/internal/scenario"
 	"repro/internal/sotif"
 	"repro/internal/worksite"
 )
@@ -27,17 +25,11 @@ type E1Result struct {
 	Table     *report.Table
 }
 
-// E1WorksiteBaseline runs the clean (attack-free) scenario under both
-// profiles.
+// E1WorksiteBaseline runs the clean (attack-free) baseline scenario under
+// both profiles.
 func E1WorksiteBaseline(seed int64, d time.Duration) (E1Result, error) {
 	run := func(profile worksite.SecurityProfile) (worksite.Report, error) {
-		cfg := worksite.DefaultConfig(seed)
-		cfg.Profile = profile
-		site, err := worksite.New(cfg)
-		if err != nil {
-			return worksite.Report{}, err
-		}
-		return site.Run(d)
+		return scenario.Run(scenario.Baseline().WithProfile(profile), seed, d)
 	}
 	uns, err := run(worksite.Unsecured())
 	if err != nil {
@@ -175,18 +167,30 @@ type E5Result struct {
 	Table *report.Table
 }
 
-// e5AttackNames lists the attack classes of the matrix in order.
-var e5AttackNames = []string{"none", "rf-jamming", "deauth-flood", "gnss-spoof", "camera-blind", "replay", "command-injection"}
+// E5AttackNames lists the matrix rows: the clean control followed by every
+// attack class in the scenario arming registry, sorted. Deriving the list
+// from the registry means a newly registered attack class appears in the
+// matrix (and in every CLI help string) without touching this package.
+func E5AttackNames() []string {
+	return append([]string{"none"}, scenario.AttackNames()...)
+}
 
-// E5AttackMatrix runs every implemented attack class against both profiles
+// E5AttackMatrix runs every registered attack class against both profiles
 // under identical seeds and reports safety/productivity/security outcomes.
+// Each cell is the class's catalog scenario with the profile swapped in, so
+// the matrix and the scenario API can never disagree about an attack's
+// schedule or parameters.
 func E5AttackMatrix(seed int64, d time.Duration) (E5Result, error) {
 	var res E5Result
 	t := report.NewTable(
 		fmt.Sprintf("E5: attack x defence matrix, %v simulated, seed %d", d, seed),
 		"attack", "profile", "logs", "unsafe_episodes", "collisions", "nav_err_max_m",
 		"cmds_applied", "forgeries_blocked", "replays_blocked", "alert_types")
-	for _, atk := range e5AttackNames {
+	for _, atk := range E5AttackNames() {
+		spec, err := scenario.ForAttack(atk)
+		if err != nil {
+			return E5Result{}, fmt.Errorf("e5 %s: %w", atk, err)
+		}
 		for _, prof := range []struct {
 			name    string
 			profile worksite.SecurityProfile
@@ -194,7 +198,7 @@ func E5AttackMatrix(seed int64, d time.Duration) (E5Result, error) {
 			{"unsecured", worksite.Unsecured()},
 			{"secured", worksite.Secured()},
 		} {
-			rep, err := runAttackScenario(seed, d, atk, prof.profile)
+			rep, err := scenario.Run(spec.WithProfile(prof.profile), seed, d)
 			if err != nil {
 				return E5Result{}, fmt.Errorf("e5 %s/%s: %w", atk, prof.name, err)
 			}
@@ -206,58 +210,6 @@ func E5AttackMatrix(seed int64, d time.Duration) (E5Result, error) {
 	}
 	res.Table = t
 	return res, nil
-}
-
-// runAttackScenario builds a site, arms one attack class for the middle 70%
-// of the run, and executes it.
-func runAttackScenario(seed int64, d time.Duration, attackName string, profile worksite.SecurityProfile) (worksite.Report, error) {
-	cfg := worksite.DefaultConfig(seed)
-	cfg.Profile = profile
-	site, err := worksite.New(cfg)
-	if err != nil {
-		return worksite.Report{}, err
-	}
-	start, stop := d/10, d*8/10
-	c := attack.NewCampaign()
-	switch attackName {
-	case "none":
-		// no attack
-	case "rf-jamming":
-		mid := geo.V(0.5*site.Grid().Width(), 0.5*site.Grid().Height())
-		c.Add(start, stop, attack.NewJamming(site.Medium(), "jam", mid, 1, 38, true))
-	case "deauth-flood":
-		c.Add(start, stop, attack.NewDeauthFlood(
-			site.AttackerAdapter(), worksite.NodeForwarder, worksite.NodeCoordinator, 200*time.Millisecond))
-	case "gnss-spoof":
-		c.Add(start, stop, attack.NewGNSSSpoof(site.ForwarderGNSS(), geo.V(60, 40)))
-	case "camera-blind":
-		c.Add(start, stop, attack.NewCameraBlind("camera-blind", func(b bool) {
-			site.ForwarderCamera().Blinded = b
-			if cam := site.DroneCamera(); cam != nil {
-				cam.Blinded = b
-			}
-		}))
-	case "replay":
-		rec := &attack.Recorder{FilterDst: worksite.NodeForwarder}
-		prev := site.Medium().Observer
-		site.Medium().Observer = func(p radio.Packet, to radio.NodeID, sinr float64, cause radio.DropCause) {
-			rec.Tap(p, to, sinr, cause)
-			if prev != nil {
-				prev(p, to, sinr, cause)
-			}
-		}
-		c.Add(start+d/10, stop, attack.NewReplay(site.AttackerAdapter(), rec, time.Second))
-	case "command-injection":
-		c.Add(start, stop, attack.NewCommandInjection(
-			site.AttackerAdapter(), worksite.NodeCoordinator, worksite.NodeForwarder,
-			func() []byte {
-				return []byte(`{"type":"command","from":"coordinator","command":"clear-stops"}`)
-			}, time.Second))
-	default:
-		return worksite.Report{}, fmt.Errorf("unknown attack %q", attackName)
-	}
-	c.Schedule(site.Scheduler())
-	return site.Run(d)
 }
 
 // E5bRow is one agility cell of the availability ablation.
@@ -282,20 +234,14 @@ func E5bChannelAgility(seed int64, d time.Duration) (E5bResult, error) {
 	t := report.NewTable(
 		fmt.Sprintf("E5b: narrowband jamming vs channel agility, %v simulated", d),
 		"agility", "logs", "channel_hops", "jammed_drops", "link_alerts")
+	spec, err := scenario.Get("rf-jamming-narrowband")
+	if err != nil {
+		return E5bResult{}, fmt.Errorf("e5b: %w", err)
+	}
 	for _, agility := range []bool{false, true} {
-		cfg := worksite.DefaultConfig(seed)
-		cfg.Profile = worksite.Secured()
-		cfg.Profile.ChannelAgility = agility
-		site, err := worksite.New(cfg)
-		if err != nil {
-			return E5bResult{}, fmt.Errorf("e5b: %w", err)
-		}
-		mid := geo.V(0.5*site.Grid().Width(), 0.5*site.Grid().Height())
-		c := attack.NewCampaign()
-		// Narrowband: channel 1 only.
-		c.Add(d/10, d*8/10, attack.NewJamming(site.Medium(), "jam-nb", mid, 1, 38, false))
-		c.Schedule(site.Scheduler())
-		rep, err := site.Run(d)
+		prof := worksite.Secured()
+		prof.ChannelAgility = agility
+		rep, err := scenario.Run(spec.WithProfile(prof), seed, d)
 		if err != nil {
 			return E5bResult{}, fmt.Errorf("e5b: %w", err)
 		}
@@ -325,17 +271,16 @@ type E5aResult struct {
 
 // E5aIDSLatencyRun executes the IDS-latency ablation.
 func E5aIDSLatencyRun(seed int64, d time.Duration) (E5aResult, error) {
-	cfg := worksite.DefaultConfig(seed)
-	cfg.Profile = worksite.Secured()
-	cfg.Profile.ProtectedMgmt = false // leave the flood effective so the IDS has something to catch
-	site, err := worksite.New(cfg)
+	spec, err := scenario.ForAttack("deauth-flood")
 	if err != nil {
 		return E5aResult{}, err
 	}
-	c := attack.NewCampaign()
-	c.Add(d/10, d*8/10, attack.NewDeauthFlood(
-		site.AttackerAdapter(), worksite.NodeForwarder, worksite.NodeCoordinator, 200*time.Millisecond))
-	c.Schedule(site.Scheduler())
+	prof := worksite.Secured()
+	prof.ProtectedMgmt = false // leave the flood effective so the IDS has something to catch
+	site, _, err := scenario.Build(spec.WithProfile(prof), seed, d)
+	if err != nil {
+		return E5aResult{}, err
+	}
 	rep, err := site.Run(d)
 	if err != nil {
 		return E5aResult{}, err

@@ -76,8 +76,11 @@ func TestE5MatrixShape(t *testing.T) {
 	if err != nil {
 		t.Fatalf("E5: %v", err)
 	}
-	if len(res.Rows) != 14 {
-		t.Fatalf("rows = %d, want 7 attacks x 2 profiles", len(res.Rows))
+	// The matrix covers the clean control plus every attack class in the
+	// scenario arming registry, each under both profiles.
+	want := len(E5AttackNames()) * 2
+	if len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d (%d attacks x 2 profiles)", len(res.Rows), want, len(E5AttackNames()))
 	}
 	byKey := make(map[string]E5Row, len(res.Rows))
 	for _, r := range res.Rows {

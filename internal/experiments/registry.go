@@ -123,21 +123,20 @@ func init() {
 			if err != nil {
 				return campaign.Outcome{}, err
 			}
+			// Every row exports the same security-outcome keys: which ones
+			// are non-zero is itself an experimental result, and keeping the
+			// export uniform means no attack-name knowledge outside the
+			// scenario registry.
 			m := make(map[string]float64)
 			for _, row := range res.Rows {
 				key := row.Attack + "/" + row.Profile
 				mm := row.Report.Metrics
 				m["logs/"+key] = float64(mm.LogsDelivered)
 				m["unsafe/"+key] = float64(mm.UnsafeEpisodes)
-				switch row.Attack {
-				case "command-injection":
-					m["cmds_applied/"+key] = float64(mm.CommandsApplied)
-					m["forgeries_blocked/"+key] = float64(mm.ForgeriesBlocked)
-				case "replay":
-					m["replays_blocked/"+key] = float64(mm.ReplaysBlocked)
-				case "gnss-spoof":
-					m["nav_err_max_m/"+key] = mm.NavErrMaxM
-				}
+				m["cmds_applied/"+key] = float64(mm.CommandsApplied)
+				m["forgeries_blocked/"+key] = float64(mm.ForgeriesBlocked)
+				m["replays_blocked/"+key] = float64(mm.ReplaysBlocked)
+				m["nav_err_max_m/"+key] = mm.NavErrMaxM
 			}
 			return campaign.Outcome{Tables: tables(res.Table), Metrics: m}, nil
 		},

@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/worksite"
+)
+
+// Build compiles a spec into a commissioned worksite and its scheduled
+// attack campaign. The attack schedule is resolved against d (window
+// fractions become simulated times), armed through the registry, and already
+// installed on the site's scheduler — the caller only has to site.Run(d).
+// The returned campaign exposes the window and phase logs for reports.
+func Build(spec Spec, seed int64, d time.Duration) (*worksite.Site, *attack.Campaign, error) {
+	if d <= 0 {
+		return nil, nil, fmt.Errorf("scenario %q: duration must be positive, got %v", spec.Name, d)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, nil, err
+	}
+	site, err := worksite.New(spec.Config(seed))
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
+	c := attack.NewCampaign()
+	for i, a := range spec.Attacks {
+		cls, ok := lookupAttack(a.Name)
+		if !ok {
+			// Validate caught unknown names already; keep the guard for
+			// specs mutated after validation.
+			return nil, nil, fmt.Errorf("scenario %q: attacks[%d]: unknown attack class %q", spec.Name, i, a.Name)
+		}
+		ctx := ArmContext{
+			Site:     site,
+			Campaign: c,
+			Start:    time.Duration(a.StartFrac * float64(d)),
+			Stop:     time.Duration(a.StopFrac * float64(d)),
+			Duration: d,
+			Params:   a.Params,
+		}
+		if err := cls.arm(ctx); err != nil {
+			return nil, nil, fmt.Errorf("scenario %q: arm %s: %w", spec.Name, a.Name, err)
+		}
+	}
+	c.Schedule(site.Scheduler())
+	return site, c, nil
+}
+
+// Run builds the spec and executes it for d of simulated time.
+func Run(spec Spec, seed int64, d time.Duration) (worksite.Report, error) {
+	site, _, err := Build(spec, seed, d)
+	if err != nil {
+		return worksite.Report{}, err
+	}
+	rep, err := site.Run(d)
+	if err != nil {
+		return worksite.Report{}, fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
+	return rep, nil
+}

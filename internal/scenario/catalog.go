@@ -1,0 +1,170 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sensors"
+)
+
+// The catalog holds the named standard scenarios. Entries are constructor
+// functions so Get always hands out an independent copy — callers can mutate
+// profiles or attack windows without corrupting the catalog.
+var catalog = map[string]func() Spec{}
+
+// registerScenario adds a catalog entry at init time; conflicts panic.
+func registerScenario(build func() Spec) {
+	s := build()
+	if s.Name == "" {
+		panic("scenario: catalog entry without a name")
+	}
+	if _, dup := catalog[s.Name]; dup {
+		panic(fmt.Sprintf("scenario: catalog entry %q already registered", s.Name))
+	}
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("scenario: invalid catalog entry %q: %v", s.Name, err))
+	}
+	catalog[s.Name] = build
+}
+
+// List returns every catalog scenario name, sorted.
+func List() []string {
+	out := make([]string, 0, len(catalog))
+	for name := range catalog {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the named catalog scenario. The result is a fresh copy.
+func Get(name string) (Spec, error) {
+	build, ok := catalog[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("scenario: unknown scenario %q (catalog: %v)", name, List())
+	}
+	return build(), nil
+}
+
+// ForAttack returns the single-attack scenario for a registered attack
+// class, or the clean baseline for "none" — the sugar behind the E5 matrix
+// rows and the worksite-sim -attack flag. Every registered attack class has
+// a same-named catalog entry (enforced by tests).
+func ForAttack(name string) (Spec, error) {
+	if name == "none" {
+		return Baseline(), nil
+	}
+	if _, ok := lookupAttack(name); !ok {
+		return Spec{}, fmt.Errorf("scenario: unknown attack %q (accepted: none, %v)", name, AttackNames())
+	}
+	return Get(name)
+}
+
+// attackWindow is the standard E5 activation window: the middle of the run,
+// leaving a clean lead-in and tail for before/after comparison.
+const (
+	attackStartFrac = 0.1
+	attackStopFrac  = 0.8
+	// Replay starts later: its recorder needs captured traffic first.
+	replayStartFrac = 0.2
+)
+
+func init() {
+	registerScenario(Baseline)
+
+	// One scenario per registered attack class, under the class's own name,
+	// with the standard window and default parameters — the E5 matrix rows.
+	for _, name := range AttackNames() {
+		name := name
+		start := attackStartFrac
+		if name == "replay" {
+			start = replayStartFrac
+		}
+		registerScenario(func() Spec {
+			s := Baseline()
+			s.Name = name
+			s.Description = AttackDescription(name)
+			s.Attacks = []AttackSpec{{Name: name, StartFrac: start, StopFrac: attackStopFrac}}
+			return s
+		})
+	}
+
+	registerScenario(func() Spec {
+		s := Baseline()
+		s.Name = "rf-jamming-narrowband"
+		s.Description = "narrowband jammer on channel 1 — the channel-agility (E5b) adversary"
+		s.Attacks = []AttackSpec{{
+			Name:      "rf-jamming",
+			StartFrac: attackStartFrac,
+			StopFrac:  attackStopFrac,
+			Params:    Params{"wideband": 0},
+		}}
+		return s
+	})
+
+	registerScenario(func() Spec {
+		s := Baseline()
+		s.Name = "harsh-weather"
+		s.Description = "heavy rain, fog and failing light degrade every sensor"
+		s.Weather = sensors.Weather{Rain: 0.7, Fog: 0.5, Darkness: 0.3}
+		return s
+	})
+
+	registerScenario(func() Spec {
+		s := Baseline()
+		s.Name = "night-ops"
+		s.Description = "night shift: camera-hostile darkness, clear air"
+		s.Weather = sensors.Weather{Darkness: 0.9}
+		return s
+	})
+
+	registerScenario(func() Spec {
+		s := Baseline()
+		s.Name = "dense-forest"
+		s.Description = "double tree density and more rocks: occlusion-heavy terrain"
+		s.Site.TreeDensity = 0.45
+		s.Site.RockDensity = 0.06
+		return s
+	})
+
+	registerScenario(func() Spec {
+		s := Baseline()
+		s.Name = "no-drone"
+		s.Description = "forwarder-only perception: the Fig. 2 point of view removed"
+		s.Drone = false
+		return s
+	})
+
+	registerScenario(func() Spec {
+		s := Baseline()
+		s.Name = "crowded-site"
+		s.Description = "eight workers on foot near the harvest site"
+		s.Workers = 8
+		return s
+	})
+
+	registerScenario(func() Spec {
+		s := Baseline()
+		s.Name = "multi-attack"
+		s.Description = "phased campaign: de-auth flood, command injection, GNSS spoofing, wideband jamming"
+		s.Attacks = []AttackSpec{
+			{Name: "deauth-flood", StartFrac: 0.1, StopFrac: 0.3},
+			{Name: "command-injection", StartFrac: 0.3, StopFrac: 0.5},
+			{Name: "gnss-spoof", StartFrac: 0.5, StopFrac: 0.7},
+			{Name: "rf-jamming", StartFrac: 0.7, StopFrac: 0.9},
+		}
+		return s
+	})
+
+	registerScenario(func() Spec {
+		s := Baseline()
+		s.Name = "storm-assault"
+		s.Description = "harsh weather plus simultaneous narrowband jamming and GNSS denial"
+		s.Weather = sensors.Weather{Rain: 0.7, Fog: 0.5, Darkness: 0.3}
+		s.Attacks = []AttackSpec{
+			{Name: "rf-jamming", StartFrac: 0.1, StopFrac: 0.8, Params: Params{"wideband": 0}},
+			{Name: "gnss-jam", StartFrac: 0.4, StopFrac: 0.8},
+		}
+		return s
+	})
+}

@@ -128,6 +128,51 @@ func DefaultConfig(seed int64) Config {
 	}
 }
 
+// Validate rejects configurations that would produce a meaningless
+// simulation, so malformed scenario specs fail fast with a clear message
+// instead of odd sim behaviour. New calls it; scenario tooling can call it
+// directly to vet a spec without commissioning a site.
+func (c Config) Validate() error {
+	if c.Cols <= 0 || c.Rows <= 0 {
+		return fmt.Errorf("worksite config: grid dimensions must be positive, got %dx%d", c.Cols, c.Rows)
+	}
+	if c.CellSizeM <= 0 {
+		return fmt.Errorf("worksite config: cell size must be positive, got %v m", c.CellSizeM)
+	}
+	if c.TreeDensity < 0 || c.TreeDensity > 1 {
+		return fmt.Errorf("worksite config: tree density must be in [0,1], got %v", c.TreeDensity)
+	}
+	if c.RockDensity < 0 || c.RockDensity > 1 {
+		return fmt.Errorf("worksite config: rock density must be in [0,1], got %v", c.RockDensity)
+	}
+	if c.Weather.Rain < 0 || c.Weather.Rain > 1 ||
+		c.Weather.Fog < 0 || c.Weather.Fog > 1 ||
+		c.Weather.Darkness < 0 || c.Weather.Darkness > 1 {
+		return fmt.Errorf("worksite config: weather factors must be in [0,1], got %+v", c.Weather)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("worksite config: worker count must be non-negative, got %d", c.Workers)
+	}
+	if c.ConfirmHits < 0 {
+		return fmt.Errorf("worksite config: fusion confirm hits must be non-negative, got %d", c.ConfirmHits)
+	}
+	if c.LoadTime <= 0 || c.UnloadTime <= 0 {
+		return fmt.Errorf("worksite config: load/unload times must be positive, got %v/%v", c.LoadTime, c.UnloadTime)
+	}
+	if c.TickPeriod <= 0 {
+		return fmt.Errorf("worksite config: tick period must be positive, got %v", c.TickPeriod)
+	}
+	// Cross-field profile invariants: these defences are driven by IDS
+	// alerts and are silently inert without the engine.
+	if c.Profile.ContinuousRisk && !c.Profile.IDSEnabled {
+		return fmt.Errorf("worksite config: profile enables continuousRisk without idsEnabled (the live register is driven by IDS alerts)")
+	}
+	if c.Profile.ChannelAgility && !c.Profile.IDSEnabled {
+		return fmt.Errorf("worksite config: profile enables channelAgility without idsEnabled (hops are triggered by IDS link alerts)")
+	}
+	return nil
+}
+
 // Site is a fully wired worksite simulation.
 type Site struct {
 	cfg   Config
@@ -221,8 +266,8 @@ func (p missionPhase) String() string {
 
 // New builds and commissions a worksite from cfg.
 func New(cfg Config) (*Site, error) {
-	if cfg.TickPeriod <= 0 {
-		return nil, fmt.Errorf("worksite: tick period must be positive")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	r := rng.New(cfg.Seed)
 	grid, err := geo.NewGrid(cfg.Cols, cfg.Rows, cfg.CellSizeM)
