@@ -57,6 +57,8 @@ func run() error {
 		sweep     = flag.Bool("sweep", false, "sweep scenario x profile x seed instead of running experiments")
 		scenList  = flag.String("scenarios", "all", "comma-separated catalog scenario names for -sweep, or \"all\"")
 		profList  = flag.String("profiles", strings.Join(scenario.Profiles(), ","), "comma-separated security profiles for -sweep")
+		sample    = flag.Duration("sample", 0, "record a per-seed timeseries point every this much simulated time (-sweep only, 0 = off)")
+		earlyStop = flag.String("early-stop", "", "end each -sweep run at the first tick matching this predicate (collision|unsafe|safe-stop|first-alert)")
 	)
 	flag.Parse()
 
@@ -66,9 +68,13 @@ func run() error {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if !*sweep {
-		for _, name := range []string{"scenarios", "profiles"} {
+		for _, name := range []string{"scenarios", "profiles", "sample", "early-stop"} {
 			if set[name] {
-				return fmt.Errorf("-%s requires -sweep (the SOTIF count override is -sotif-scenarios)", name)
+				hint := ""
+				if name == "scenarios" {
+					hint = " (the SOTIF count override is -sotif-scenarios)"
+				}
+				return fmt.Errorf("-%s requires -sweep%s", name, hint)
 			}
 		}
 	} else {
@@ -90,7 +96,12 @@ func run() error {
 		return nil
 	}
 	if *sweep {
-		return runSweep(*scenList, *profList, *seeds, *seedBase, *parallel, *duration, *jsonPath, *csv)
+		return runSweep(sweepArgs{
+			scenList: *scenList, profList: *profList,
+			seeds: *seeds, seedBase: *seedBase, parallel: *parallel,
+			duration: *duration, sample: *sample, earlyStop: *earlyStop,
+			jsonPath: *jsonPath, csv: *csv,
+		})
 	}
 	exps, err := campaign.Default.Select(strings.Split(*expList, ","))
 	if err != nil {
@@ -148,7 +159,19 @@ func run() error {
 	return nil
 }
 
-func runSweep(scenList, profList string, seeds int, seedBase int64, parallel int, duration time.Duration, jsonPath string, csv bool) error {
+type sweepArgs struct {
+	scenList, profList string
+	seeds              int
+	seedBase           int64
+	parallel           int
+	duration           time.Duration
+	sample             time.Duration
+	earlyStop          string
+	jsonPath           string
+	csv                bool
+}
+
+func runSweep(a sweepArgs) error {
 	split := func(s string) []string {
 		var out []string
 		for _, part := range strings.Split(s, ",") {
@@ -158,30 +181,36 @@ func runSweep(scenList, profList string, seeds int, seedBase int64, parallel int
 		}
 		return out
 	}
+	stop, err := campaign.EarlyStopByName(a.earlyStop)
+	if err != nil {
+		return err
+	}
 	opts := campaign.SweepOptions{
-		Scenarios: split(scenList),
-		Profiles:  split(profList),
-		Seeds:     campaign.SeedRange{Base: seedBase, Count: seeds},
-		Parallel:  parallel,
-		Duration:  duration,
+		Scenarios:   split(a.scenList),
+		Profiles:    split(a.profList),
+		Seeds:       campaign.SeedRange{Base: a.seedBase, Count: a.seeds},
+		Parallel:    a.parallel,
+		Duration:    a.duration,
+		SampleEvery: a.sample,
+		EarlyStop:   stop,
 	}
 	start := time.Now()
 	res, err := campaign.Sweep(opts)
 	if err != nil {
 		return err
 	}
-	jsonToStdout := jsonPath == "-"
+	jsonToStdout := a.jsonPath == "-"
 	if !jsonToStdout {
 		t := res.Table()
-		if csv {
+		if a.csv {
 			fmt.Print(t.CSV())
 		} else {
 			fmt.Print(t.Render())
 		}
 	}
 	fmt.Fprintf(os.Stderr, "campaign: sweep of %d cell(s) x %d seed(s), parallel %d, %.2fs wall\n",
-		len(res.Cells), seeds, parallel, time.Since(start).Seconds())
-	if jsonPath != "" {
+		len(res.Cells), a.seeds, a.parallel, time.Since(start).Seconds())
+	if a.jsonPath != "" {
 		j, err := res.JSON()
 		if err != nil {
 			return err
@@ -190,7 +219,7 @@ func runSweep(scenList, profList string, seeds int, seedBase int64, parallel int
 			_, err = os.Stdout.Write(append(j, '\n'))
 			return err
 		}
-		return os.WriteFile(jsonPath, append(j, '\n'), 0o644)
+		return os.WriteFile(a.jsonPath, append(j, '\n'), 0o644)
 	}
 	return nil
 }

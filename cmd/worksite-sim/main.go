@@ -8,18 +8,28 @@
 //	worksite-sim [-seed N] [-duration 30m] [-secured] [-scenario NAME] [-json]
 //	worksite-sim -scenario-file spec.json
 //	worksite-sim -attack NAME        # sugar for -scenario NAME
+//	worksite-sim -trace -            # stream events as JSON lines to stdout
 //	worksite-sim -list-scenarios
 //
 // Scenarios come from the named catalog in internal/scenario (run with
 // -list-scenarios to enumerate them) or from a JSON spec file. The accepted
 // -attack names are derived from the scenario arming registry, so the help
 // text can never drift from the implemented attack classes.
+//
+// With -trace PATH ("-" = stdout) the run streams its typed event feed —
+// per-tick snapshots, IDS alerts, attack phase transitions, security
+// responses, mode changes, mission transitions and safety events — as JSON
+// lines of the form {"event": KIND, "data": {...}}, one per event, in
+// simulation order. Combined with -json the machine-readable trace and
+// report cover a single run end to end.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -46,6 +56,7 @@ func run() error {
 		attackNm = flag.String("attack", "none",
 			"attack scenario sugar (accepted: none|"+strings.Join(scenario.AttackNames(), "|")+")")
 		asJSON   = flag.Bool("json", false, "emit the report as JSON")
+		traceTo  = flag.String("trace", "", "stream run events as JSON lines to this path (\"-\" = stdout)")
 		showMap  = flag.Bool("map", false, "print the ASCII worksite map before and after the run")
 		timeline = flag.Int("timeline", 0, "print up to N operational timeline events after the run")
 		listScen = flag.Bool("list-scenarios", false, "list the scenario catalog and exit")
@@ -73,16 +84,31 @@ func run() error {
 		spec.Profile = worksite.Secured()
 	}
 
-	site, _, err := scenario.Build(spec, *seed, *duration)
+	sess, _, err := scenario.Build(spec, *seed, *duration)
 	if err != nil {
 		return err
 	}
+	site := sess.Site()
+	closeTrace := func() error { return nil }
+	if *traceTo != "" {
+		if closeTrace, err = subscribeTrace(sess, *traceTo); err != nil {
+			return err
+		}
+	}
+	// Flush even on a failed run — the buffered tail of the trace is the
+	// most diagnostic part — but never mask the run error with a flush one.
+	defer func() { _ = closeTrace() }()
 	if *showMap {
 		fmt.Print(site.RenderMap(100))
 		fmt.Println()
 	}
-	rep, err := site.Run(*duration)
+	rep, err := sess.Run(*duration)
 	if err != nil {
+		return err
+	}
+	// Flush the event stream before any report rendering so a stdout trace
+	// is never interleaved with the tables.
+	if err := closeTrace(); err != nil {
 		return err
 	}
 	if *showMap {
@@ -100,6 +126,51 @@ func run() error {
 	}
 	printReport(rep, spec)
 	return nil
+}
+
+// subscribeTrace attaches a JSON-lines event writer to the session. Every
+// typed event becomes one line: {"event": KIND, "data": {...}}. The
+// returned func flushes (and closes, for files) the sink.
+func subscribeTrace(sess *worksite.Session, path string) (func() error, error) {
+	var (
+		sink io.Writer
+		file *os.File
+	)
+	if path == "-" {
+		sink = os.Stdout
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		file, sink = f, f
+	}
+	w := bufio.NewWriter(sink)
+	enc := json.NewEncoder(w)
+	emit := func(kind string, data any) {
+		_ = enc.Encode(struct {
+			Event string `json:"event"`
+			Data  any    `json:"data"`
+		}{kind, data})
+	}
+	sess.Subscribe(&worksite.ObserverFuncs{
+		Tick:             func(e worksite.TickSnapshot) { emit(e.EventKind(), e) },
+		Alert:            func(e worksite.AlertRaised) { emit(e.EventKind(), e) },
+		AttackPhase:      func(e worksite.AttackPhase) { emit(e.EventKind(), e) },
+		SecurityResponse: func(e worksite.SecurityResponse) { emit(e.EventKind(), e) },
+		ModeChange:       func(e worksite.ModeChange) { emit(e.EventKind(), e) },
+		MissionPhase:     func(e worksite.MissionPhase) { emit(e.EventKind(), e) },
+		Safety:           func(e worksite.SafetyEvent) { emit(e.EventKind(), e) },
+	})
+	return func() error {
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		if file != nil {
+			return file.Close()
+		}
+		return nil
+	}, nil
 }
 
 // resolveSpec picks the scenario source: an explicit spec file wins, then a

@@ -19,4 +19,13 @@
 // names through. cmd/campaign -sweep fans the scenario x profile x seed
 // cross-product out over the campaign worker pool; cmd/worksite-sim runs a
 // single named scenario or a JSON spec file.
+//
+// Execution is session-based: worksite.NewSession (or scenario.Build, which
+// arms the attack schedule on top) returns a steppable handle publishing a
+// typed event stream — per-tick snapshots, IDS alerts, attack phases,
+// security responses, mode changes, mission transitions, safety events — to
+// subscribed observers, with the report's own KPI accumulation riding the
+// same stream. cmd/worksite-sim -trace streams the events as JSON lines;
+// campaign sweeps use the seam for early-stop predicates and downsampled
+// per-seed timeseries.
 package repro

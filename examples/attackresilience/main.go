@@ -7,7 +7,10 @@
 // detected, fail-safe events.
 //
 // The whole adversary schedule is data (internal/scenario's multi-attack
-// spec); this example only swaps the security profile between runs.
+// spec); this example only swaps the security profile between runs. The
+// secured run additionally subscribes a session observer, so the incident
+// unfolds live: attack phases as the adversary schedules them, and the
+// site's security responses as the continuous risk assessment reacts.
 //
 //	go run ./examples/attackresilience
 package main
@@ -45,11 +48,34 @@ func run() error {
 	for _, prof := range []struct {
 		name    string
 		profile worksite.SecurityProfile
+		narrate bool
 	}{
-		{"unsecured", worksite.Unsecured()},
-		{"secured", worksite.Secured()},
+		{"unsecured", worksite.Unsecured(), false},
+		{"secured", worksite.Secured(), true},
 	} {
-		rep, err := scenario.Run(spec.WithProfile(prof.profile), seed, d)
+		sess, _, err := scenario.Build(spec.WithProfile(prof.profile), seed, d)
+		if err != nil {
+			return err
+		}
+		if prof.narrate {
+			fmt.Println("Incident narration (secured run):")
+			sess.Subscribe(&worksite.ObserverFuncs{
+				AttackPhase: func(e worksite.AttackPhase) {
+					state := "ends"
+					if e.Active {
+						state = "begins"
+					}
+					fmt.Printf("  [%5.0fs] attack    %s %s\n", e.At.Seconds(), e.Attack, state)
+				},
+				SecurityResponse: func(e worksite.SecurityResponse) {
+					fmt.Printf("  [%5.0fs] response  %s (%s)\n", e.At.Seconds(), e.Kind, e.Detail)
+				},
+				ModeChange: func(e worksite.ModeChange) {
+					fmt.Printf("  [%5.0fs] mode      %s -> %s\n", e.At.Seconds(), e.From, e.To)
+				},
+			})
+		}
+		rep, err := sess.Run(d)
 		if err != nil {
 			return err
 		}
@@ -57,6 +83,7 @@ func run() error {
 		t.AddRow(prof.name, m.LogsDelivered, m.NavErrMaxM, m.CommandsApplied,
 			m.ForgeriesBlocked, m.UnsafeEpisodes, m.Collisions, len(rep.Alerts))
 	}
+	fmt.Println()
 	fmt.Print(t.Render())
 	return nil
 }

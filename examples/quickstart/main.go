@@ -1,5 +1,5 @@
-// Quickstart: build the Fig. 1 forestry worksite, run ten simulated minutes
-// of autonomous log transport, and print the KPIs.
+// Quickstart: build the Fig. 1 forestry worksite as a steppable session,
+// watch it work through a live observer, and print the final KPIs.
 //
 //	go run ./examples/quickstart
 package main
@@ -25,17 +25,37 @@ func run() error {
 	cfg := worksite.DefaultConfig(42)
 	cfg.Profile = worksite.Secured() // full defence stack
 
-	site, err := worksite.New(cfg)
+	// A session is the steppable handle on the simulation: subscribe typed
+	// observers, advance time, read the report.
+	sess, err := worksite.NewSession(cfg)
 	if err != nil {
 		return err
 	}
-	rep, err := site.Run(10 * time.Minute)
+
+	// Observers tap the run as it happens — here, a progress line every
+	// two simulated minutes plus every haul-cycle transition.
+	var nextProgress = 2 * time.Minute
+	sess.Subscribe(&worksite.ObserverFuncs{
+		Tick: func(t worksite.TickSnapshot) {
+			if t.At < nextProgress {
+				return
+			}
+			nextProgress += 2 * time.Minute
+			fmt.Printf("  [%4.0fs] %-10s logs=%d min-worker-dist=%.1fm\n",
+				t.At.Seconds(), t.Mission, t.LogsDelivered, t.MinWorkerDistM)
+		},
+		MissionPhase: func(m worksite.MissionPhase) {
+			fmt.Printf("  [%4.0fs] %s\n", m.At.Seconds(), m.Detail)
+		},
+	})
+
+	fmt.Println("Quickstart: 10 simulated minutes of autonomous log transport")
+	rep, err := sess.Run(10 * time.Minute)
 	if err != nil {
 		return err
 	}
 
 	m := rep.Metrics
-	fmt.Println("Quickstart: 10 simulated minutes of autonomous log transport")
 	fmt.Printf("  logs delivered:     %d\n", m.LogsDelivered)
 	fmt.Printf("  distance driven:    %.0f m\n", m.DistanceM)
 	fmt.Printf("  safety stops:       %d (%.0fs stopped)\n", m.SafetyStops, m.StoppedFor.Seconds())

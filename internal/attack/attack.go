@@ -42,6 +42,12 @@ type Window struct {
 type Campaign struct {
 	windows []Window
 	log     []PhaseEvent
+
+	// OnPhase, if set before Schedule, is invoked for every phase change as
+	// it happens — the seam the scenario layer uses to stream AttackPhase
+	// events into a worksite session. It runs on the simulation loop and
+	// must not mutate the campaign.
+	OnPhase func(PhaseEvent)
 }
 
 // PhaseEvent records an activation change, for experiment reports.
@@ -69,14 +75,21 @@ func (c *Campaign) Schedule(s *simclock.Scheduler) {
 		w := w
 		s.At(w.Start, func(sch *simclock.Scheduler) {
 			w.Attack.Begin(sch)
-			c.log = append(c.log, PhaseEvent{At: sch.Now(), Attack: w.Attack.Name(), Active: true})
+			c.record(PhaseEvent{At: sch.Now(), Attack: w.Attack.Name(), Active: true})
 		})
 		if w.Stop > w.Start {
 			s.At(w.Stop, func(sch *simclock.Scheduler) {
 				w.Attack.End(sch)
-				c.log = append(c.log, PhaseEvent{At: sch.Now(), Attack: w.Attack.Name(), Active: false})
+				c.record(PhaseEvent{At: sch.Now(), Attack: w.Attack.Name(), Active: false})
 			})
 		}
+	}
+}
+
+func (c *Campaign) record(e PhaseEvent) {
+	c.log = append(c.log, e)
+	if c.OnPhase != nil {
+		c.OnPhase(e)
 	}
 }
 

@@ -60,6 +60,13 @@ type Outcome struct {
 	Tables  []*report.Table
 	Figures []*report.Figure
 	Metrics map[string]float64
+
+	// Timeseries is the optional downsampled per-tick series of the run
+	// (session-driven experiments with sampling enabled; nil otherwise).
+	Timeseries []TimePoint
+	// StoppedAt is the virtual time an early-stop predicate ended the run,
+	// 0 when it ran to its full duration.
+	StoppedAt time.Duration
 }
 
 // Experiment is a registered, discoverable experiment.

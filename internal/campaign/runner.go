@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/report"
 )
@@ -49,6 +50,12 @@ type Options struct {
 type SeedRun struct {
 	Seed    int64              `json:"seed"`
 	Metrics map[string]float64 `json:"metrics"`
+	// Timeseries is the downsampled per-tick series when the producing
+	// experiment sampled one (sweeps with SampleEvery set).
+	Timeseries []TimePoint `json:"timeseries,omitempty"`
+	// StoppedAt is the virtual time an early-stop predicate ended this run,
+	// 0 when it ran to the full duration.
+	StoppedAt time.Duration `json:"stoppedAtNs,omitempty"`
 }
 
 // Aggregate summarises one metric across all seeds of a campaign. CI95Lo/Hi
@@ -138,7 +145,12 @@ func Run(exp Experiment, opts Options) (*Result, error) {
 		if s.err != nil {
 			return nil, fmt.Errorf("campaign %s seed %d: %w", exp.ID, seeds[i], s.err)
 		}
-		res.PerSeed = append(res.PerSeed, SeedRun{Seed: seeds[i], Metrics: s.out.Metrics})
+		res.PerSeed = append(res.PerSeed, SeedRun{
+			Seed:       seeds[i],
+			Metrics:    s.out.Metrics,
+			Timeseries: s.out.Timeseries,
+			StoppedAt:  s.out.StoppedAt,
+		})
 		res.Outcomes = append(res.Outcomes, s.out)
 	}
 	res.Aggregates = aggregate(res.PerSeed)

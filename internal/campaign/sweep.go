@@ -25,6 +25,52 @@ type SweepOptions struct {
 	Parallel int
 	// Duration is the simulated duration per run (0 = 10 minutes).
 	Duration time.Duration
+	// SampleEvery, when positive, records a downsampled per-tick timeseries
+	// in every SeedRun: one TimePoint per SampleEvery of simulated time.
+	// Sampling is a passive observer; it never changes run outcomes.
+	SampleEvery time.Duration
+	// EarlyStop, when non-nil, ends each run at the first control tick for
+	// which it returns true (the run's report then covers the shortened
+	// window and SeedRun.StoppedAt records the cut). Predicates must be
+	// pure functions of the snapshot so runs stay deterministic; with
+	// EarlyStop nil, sweep output is byte-identical to a sweep without
+	// session instrumentation, across any Parallel width.
+	EarlyStop func(worksite.TickSnapshot) bool
+}
+
+// TimePoint is one downsampled sample of a run's per-tick timeseries — the
+// raw material for time-resolved figures (attack windows vs nav error,
+// productivity ramps, alert bursts).
+type TimePoint struct {
+	At             time.Duration `json:"atNs"`
+	Mission        string        `json:"mission"`
+	Mode           string        `json:"mode"`
+	NavErrM        float64       `json:"navErrM"`
+	MinWorkerDistM float64       `json:"minWorkerDistM"`
+	Stopped        bool          `json:"stopped"`
+	LogsDelivered  int           `json:"logsDelivered"`
+	Collisions     int           `json:"collisions"`
+	UnsafeEpisodes int           `json:"unsafeEpisodes"`
+	Alerts         int           `json:"alerts"`
+}
+
+// EarlyStopByName resolves a named early-stop predicate — the CLI surface
+// of SweepOptions.EarlyStop.
+func EarlyStopByName(name string) (func(worksite.TickSnapshot) bool, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "collision":
+		return func(t worksite.TickSnapshot) bool { return t.Colliding }, nil
+	case "unsafe":
+		return func(t worksite.TickSnapshot) bool { return t.Unsafe }, nil
+	case "safe-stop":
+		return func(t worksite.TickSnapshot) bool { return t.Mode == "safe-stop" }, nil
+	case "first-alert":
+		return func(t worksite.TickSnapshot) bool { return t.Alerts > 0 }, nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown early-stop predicate %q (known: collision, unsafe, safe-stop, first-alert)", name)
+	}
 }
 
 // DefaultSweepDuration is the per-run simulated duration when none is given.
@@ -83,11 +129,7 @@ func Sweep(opts SweepOptions) (*SweepResult, error) {
 				Description: spec.Description,
 				Defaults:    Params{Duration: d},
 				Run: func(p Params) (Outcome, error) {
-					rep, err := scenario.Run(cellSpec, p.Seed, p.Duration)
-					if err != nil {
-						return Outcome{}, err
-					}
-					return Outcome{Metrics: SweepMetrics(rep)}, nil
+					return runSweepCell(cellSpec, p, opts)
 				},
 			}
 			cell, err := Run(exp, Options{Seeds: opts.Seeds, Parallel: opts.Parallel})
@@ -98,6 +140,59 @@ func Sweep(opts SweepOptions) (*SweepResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// runSweepCell executes one (scenario, profile, seed) run. The plain path
+// (no sampling, no early stop) closes the loop with scenario.Run; the
+// instrumented path drives a session tick by tick, so the two are the same
+// simulation advanced in different strides — deterministically identical
+// when no predicate cuts the run short.
+func runSweepCell(spec scenario.Spec, p Params, opts SweepOptions) (Outcome, error) {
+	if opts.SampleEvery <= 0 && opts.EarlyStop == nil {
+		rep, err := scenario.Run(spec, p.Seed, p.Duration)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Metrics: SweepMetrics(rep)}, nil
+	}
+
+	sess, _, err := scenario.Build(spec, p.Seed, p.Duration)
+	if err != nil {
+		return Outcome{}, err
+	}
+	var series []TimePoint
+	if opts.SampleEvery > 0 {
+		nextSample := opts.SampleEvery
+		sess.Subscribe(&worksite.ObserverFuncs{Tick: func(t worksite.TickSnapshot) {
+			if t.At < nextSample {
+				return
+			}
+			for nextSample <= t.At {
+				nextSample += opts.SampleEvery
+			}
+			series = append(series, TimePoint{
+				At:             t.At,
+				Mission:        t.Mission,
+				Mode:           t.Mode,
+				NavErrM:        t.NavErrM,
+				MinWorkerDistM: t.MinWorkerDistM,
+				Stopped:        t.Stopped,
+				LogsDelivered:  t.LogsDelivered,
+				Collisions:     t.Collisions,
+				UnsafeEpisodes: t.UnsafeEpisodes,
+				Alerts:         t.Alerts,
+			})
+		}})
+	}
+	stopped, err := sess.RunUntil(opts.EarlyStop)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out := Outcome{Metrics: SweepMetrics(sess.Report()), Timeseries: series}
+	if stopped {
+		out.StoppedAt = sess.Now()
+	}
+	return out, nil
 }
 
 // SweepMetrics flattens a worksite report into the sweep's per-seed metric

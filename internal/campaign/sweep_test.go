@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/worksite"
 )
 
 func sweepJSON(t *testing.T, parallel int) []byte {
@@ -90,6 +91,105 @@ func TestSweepShapeAndOrder(t *testing.T) {
 	}
 	if res.Table().Rows() != len(wantCells) {
 		t.Fatalf("summary table rows = %d, want %d", res.Table().Rows(), len(wantCells))
+	}
+}
+
+// TestSweepInstrumentationInert: enabling sampling must not change any run
+// outcome — the session instrumentation is a passive tap, so the metric
+// record matches the uninstrumented sweep exactly.
+func TestSweepInstrumentationInert(t *testing.T) {
+	base := campaign.SweepOptions{
+		Scenarios: []string{"gnss-spoof"},
+		Profiles:  []string{"unsecured"},
+		Seeds:     campaign.SeedRange{Base: 1, Count: 2},
+		Parallel:  2,
+		Duration:  4 * time.Minute,
+	}
+	plain, err := campaign.Sweep(base)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	sampled := base
+	sampled.SampleEvery = 30 * time.Second
+	inst, err := campaign.Sweep(sampled)
+	if err != nil {
+		t.Fatalf("instrumented Sweep: %v", err)
+	}
+	for i, run := range inst.Cells[0].Result.PerSeed {
+		want := plain.Cells[0].Result.PerSeed[i]
+		if len(run.Metrics) != len(want.Metrics) {
+			t.Fatalf("seed %d metric sets differ", run.Seed)
+		}
+		for k, v := range want.Metrics {
+			if run.Metrics[k] != v {
+				t.Fatalf("seed %d metric %s: sampled %v != plain %v", run.Seed, k, run.Metrics[k], v)
+			}
+		}
+		if len(run.Timeseries) == 0 {
+			t.Fatalf("seed %d has no timeseries with SampleEvery set", run.Seed)
+		}
+		// About one point per 30s over 4 minutes, strictly increasing.
+		if n := len(run.Timeseries); n < 6 || n > 8 {
+			t.Fatalf("seed %d timeseries has %d points over 4m/30s", run.Seed, n)
+		}
+		for j := 1; j < len(run.Timeseries); j++ {
+			if run.Timeseries[j].At <= run.Timeseries[j-1].At {
+				t.Fatalf("seed %d timeseries not increasing at %d", run.Seed, j)
+			}
+		}
+		if run.StoppedAt != 0 {
+			t.Fatalf("seed %d reports early stop without a predicate", run.Seed)
+		}
+	}
+}
+
+// TestSweepEarlyStop: a predicate cuts runs short and records the cut.
+func TestSweepEarlyStop(t *testing.T) {
+	res, err := campaign.Sweep(campaign.SweepOptions{
+		Scenarios: []string{"gnss-spoof"},
+		Profiles:  []string{"secured"},
+		Seeds:     campaign.SeedRange{Base: 1, Count: 2},
+		Parallel:  2,
+		Duration:  6 * time.Minute,
+		// The secured profile raises gnss-anomaly alerts once the spoof
+		// window opens; stop each run at the first alert.
+		EarlyStop: mustPredicate(t, "first-alert"),
+	})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	for _, run := range res.Cells[0].Result.PerSeed {
+		if run.StoppedAt == 0 {
+			t.Fatalf("seed %d never stopped (no alert before horizon?)", run.Seed)
+		}
+		if run.StoppedAt >= 6*time.Minute {
+			t.Fatalf("seed %d stopped at %v, not early", run.Seed, run.StoppedAt)
+		}
+	}
+}
+
+func mustPredicate(t *testing.T, name string) func(worksite.TickSnapshot) bool {
+	t.Helper()
+	p, err := campaign.EarlyStopByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestEarlyStopByName: known names resolve, the empty name is nil, unknown
+// names fail.
+func TestEarlyStopByName(t *testing.T) {
+	for _, name := range []string{"collision", "unsafe", "safe-stop", "first-alert"} {
+		if p, err := campaign.EarlyStopByName(name); err != nil || p == nil {
+			t.Fatalf("EarlyStopByName(%q): nil=%v err=%v", name, p == nil, err)
+		}
+	}
+	if p, err := campaign.EarlyStopByName(""); err != nil || p != nil {
+		t.Fatalf("empty name should resolve to nil predicate, got nil=%v err=%v", p == nil, err)
+	}
+	if _, err := campaign.EarlyStopByName("quantum"); err == nil {
+		t.Fatal("unknown predicate accepted")
 	}
 }
 

@@ -277,17 +277,17 @@ func E5aIDSLatencyRun(seed int64, d time.Duration) (E5aResult, error) {
 	}
 	prof := worksite.Secured()
 	prof.ProtectedMgmt = false // leave the flood effective so the IDS has something to catch
-	site, _, err := scenario.Build(spec.WithProfile(prof), seed, d)
+	sess, _, err := scenario.Build(spec.WithProfile(prof), seed, d)
 	if err != nil {
 		return E5aResult{}, err
 	}
-	rep, err := site.Run(d)
+	rep, err := sess.Run(d)
 	if err != nil {
 		return E5aResult{}, err
 	}
 	res := E5aResult{SendFailures: rep.Metrics.SendFailures}
-	if site.IDS() != nil {
-		if lat, ok := site.IDS().DetectionLatency("deauth-flood", "deauth"); ok {
+	if ids := sess.Site().IDS(); ids != nil {
+		if lat, ok := ids.DetectionLatency("deauth-flood", "deauth"); ok {
 			res.DetectionLatency = lat
 			res.Detected = true
 		}

@@ -176,6 +176,9 @@ func (e *Engine) Alerts() []Alert {
 	return out
 }
 
+// Total returns the number of alerts raised so far.
+func (e *Engine) Total() int { return len(e.alerts) }
+
 // CountByType returns a copy of the per-type alert counters.
 func (e *Engine) CountByType() map[string]int {
 	out := make(map[string]int, len(e.byType))

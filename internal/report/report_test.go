@@ -1,6 +1,7 @@
 package report
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -49,6 +50,71 @@ func TestFormatFloat(t *testing.T) {
 		if got := FormatFloat(tt.in); got != tt.want {
 			t.Fatalf("FormatFloat(%v) = %q, want %q", tt.in, got, tt.want)
 		}
+	}
+}
+
+func TestFormatFloatEdgeCases(t *testing.T) {
+	tests := []struct {
+		name string
+		in   float64
+		want string
+	}{
+		{"nan", math.NaN(), "NaN"},
+		{"pos-inf", math.Inf(1), "+Inf"},
+		{"neg-inf", math.Inf(-1), "-Inf"},
+		{"huge", 1e20, "1e+20"},
+		{"huge-negative", -2.5e18, "-2.5e+18"},
+		{"threshold", 1e15, "1e+15"},
+		{"below-threshold-integer", 1e14, "100000000000000"},
+		{"max-float", math.MaxFloat64, "1.79769e+308"},
+		{"tiny", 1e-12, "0.000"},
+		{"negative-zero", math.Copysign(0, -1), "0"},
+	}
+	for _, tt := range tests {
+		if got := FormatFloat(tt.in); got != tt.want {
+			t.Fatalf("%s: FormatFloat(%v) = %q, want %q", tt.name, tt.in, got, tt.want)
+		}
+	}
+}
+
+// TestTableNonFiniteCells: a table row carrying NaN/Inf renders and exports
+// without panicking or emitting fixed-point garbage.
+func TestTableNonFiniteCells(t *testing.T) {
+	tab := NewTable("edge", "metric", "value")
+	tab.AddRow("nan", math.NaN())
+	tab.AddRow("inf", math.Inf(1))
+	out := tab.Render()
+	for _, want := range []string{"NaN", "+Inf"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	if csv := tab.CSV(); !strings.Contains(csv, "nan,NaN\n") || !strings.Contains(csv, "inf,+Inf\n") {
+		t.Fatalf("CSV missing non-finite cells:\n%s", csv)
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tab := NewTable("ignored title", "plain", "tricky")
+	tab.AddRow("a,b", `say "hi"`)
+	tab.AddRow("line\nbreak", "clean")
+	csv := tab.CSV()
+	lines := strings.SplitN(csv, "\n", 2)
+	if lines[0] != "plain,tricky" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	for _, want := range []string{
+		`"a,b"`,           // comma cell quoted
+		`"say ""hi"""`,    // quote cell quoted with doubled quotes
+		"\"line\nbreak\"", // newline cell quoted
+		"clean",           // plain cell untouched
+	} {
+		if !strings.Contains(csv, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, csv)
+		}
+	}
+	if strings.Contains(csv, `"clean"`) {
+		t.Fatalf("plain cell needlessly quoted:\n%s", csv)
 	}
 }
 

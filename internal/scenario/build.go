@@ -8,23 +8,31 @@ import (
 	"repro/internal/worksite"
 )
 
-// Build compiles a spec into a commissioned worksite and its scheduled
+// Build compiles a spec into a steppable worksite session and its scheduled
 // attack campaign. The attack schedule is resolved against d (window
-// fractions become simulated times), armed through the registry, and already
-// installed on the site's scheduler — the caller only has to site.Run(d).
+// fractions become simulated times), armed through the registry, installed
+// on the site's scheduler, and wired into the session's event stream, so a
+// subscriber sees AttackPhase events interleaved with the per-tick
+// snapshots. The session's horizon is d: callers either close the loop with
+// sess.Run(d) / RunFor(d), or drive it tick by tick with Step / RunUntil.
 // The returned campaign exposes the window and phase logs for reports.
-func Build(spec Spec, seed int64, d time.Duration) (*worksite.Site, *attack.Campaign, error) {
+func Build(spec Spec, seed int64, d time.Duration) (*worksite.Session, *attack.Campaign, error) {
 	if d <= 0 {
 		return nil, nil, fmt.Errorf("scenario %q: duration must be positive, got %v", spec.Name, d)
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, nil, err
 	}
-	site, err := worksite.New(spec.Config(seed))
+	sess, err := worksite.NewSession(spec.Config(seed))
 	if err != nil {
 		return nil, nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
 	}
+	sess.SetHorizon(d)
+	site := sess.Site()
 	c := attack.NewCampaign()
+	c.OnPhase = func(e attack.PhaseEvent) {
+		sess.EmitAttackPhase(e.At, e.Attack, e.Active)
+	}
 	for i, a := range spec.Attacks {
 		cls, ok := lookupAttack(a.Name)
 		if !ok {
@@ -45,16 +53,16 @@ func Build(spec Spec, seed int64, d time.Duration) (*worksite.Site, *attack.Camp
 		}
 	}
 	c.Schedule(site.Scheduler())
-	return site, c, nil
+	return sess, c, nil
 }
 
 // Run builds the spec and executes it for d of simulated time.
 func Run(spec Spec, seed int64, d time.Duration) (worksite.Report, error) {
-	site, _, err := Build(spec, seed, d)
+	sess, _, err := Build(spec, seed, d)
 	if err != nil {
 		return worksite.Report{}, err
 	}
-	rep, err := site.Run(d)
+	rep, err := sess.Run(d)
 	if err != nil {
 		return worksite.Report{}, fmt.Errorf("scenario %q: %w", spec.Name, err)
 	}

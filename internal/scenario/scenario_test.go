@@ -95,12 +95,15 @@ func TestCatalogSpecsBuild(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Get(%q): %v", name, err)
 		}
-		site, c, err := Build(spec.WithProfile(worksite.Secured()), 3, 10*time.Minute)
+		sess, c, err := Build(spec.WithProfile(worksite.Secured()), 3, 10*time.Minute)
 		if err != nil {
 			t.Fatalf("Build(%q): %v", name, err)
 		}
-		if site == nil || c == nil {
-			t.Fatalf("Build(%q) returned nil site or campaign", name)
+		if sess == nil || sess.Site() == nil || c == nil {
+			t.Fatalf("Build(%q) returned nil session or campaign", name)
+		}
+		if sess.Horizon() != 10*time.Minute {
+			t.Fatalf("Build(%q) horizon = %v, want 10m", name, sess.Horizon())
 		}
 		if got := len(c.Windows()); got != len(spec.Attacks) {
 			t.Fatalf("Build(%q) scheduled %d windows, spec has %d attacks", name, got, len(spec.Attacks))

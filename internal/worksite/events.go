@@ -1,0 +1,289 @@
+package worksite
+
+import (
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ids"
+)
+
+// Event is the common interface of everything a session publishes to its
+// observers: per-tick snapshots plus the discrete incidents (alerts, attack
+// phase changes, security responses, mode changes, mission transitions,
+// safety events). Every event carries its virtual timestamp in its At
+// field and a stable kind string used by JSON trace streams.
+type Event interface {
+	// EventKind returns the stable kind tag ("tick", "alert", ...).
+	EventKind() string
+}
+
+// TickSnapshot is the per-control-tick state of the worksite: where the
+// forwarder really is, where it believes it is, the mission and operating
+// mode, and the live safety flags. It is both the value Session.Step returns
+// and the event observers receive once per tick.
+//
+// Cumulative counters (LogsDelivered, Collisions, UnsafeEpisodes, Alerts)
+// include the current tick; MinWorkerDistM is the per-tick minimum
+// (-1 on a site without workers), not the run minimum.
+type TickSnapshot struct {
+	// N is the control-tick number, starting at 1.
+	N int `json:"n"`
+	// At is the virtual time of the tick.
+	At time.Duration `json:"atNs"`
+	// Mission is the haul-cycle phase ("to-harvest", "loading", ...).
+	Mission string `json:"mission"`
+	// Mode is the live-risk operating mode ("normal" when continuous risk
+	// assessment is disabled).
+	Mode string `json:"mode"`
+	// TruePos and BelievedPos are the forwarder's real and GNSS-believed
+	// positions; NavErrM is their distance (the attack effect E5 measures).
+	TruePos     geo.Vec `json:"truePos"`
+	BelievedPos geo.Vec `json:"believedPos"`
+	NavErrM     float64 `json:"navErrM"`
+	// MinWorkerDistM is this tick's closest worker distance, -1 when the
+	// site has no workers.
+	MinWorkerDistM float64 `json:"minWorkerDistM"`
+	// Unsafe is true while a worker is inside the danger radius of the
+	// moving machine; Colliding while one is inside the collision radius.
+	Unsafe    bool `json:"unsafe"`
+	Colliding bool `json:"colliding"`
+	// Stopped is true while any stop latch holds the forwarder.
+	Stopped bool `json:"stopped"`
+	// Cumulative outcome counters as of this tick.
+	LogsDelivered  int `json:"logsDelivered"`
+	Collisions     int `json:"collisions"`
+	UnsafeEpisodes int `json:"unsafeEpisodes"`
+	// Alerts is the cumulative IDS alert count (0 when the IDS is off).
+	Alerts int `json:"alerts"`
+}
+
+// EventKind implements Event.
+func (TickSnapshot) EventKind() string { return "tick" }
+
+// Tick is the record Session.Step returns — the same per-tick snapshot the
+// observer stream carries.
+type Tick = TickSnapshot
+
+// AlertRaised is published for every IDS alert, as it fires.
+type AlertRaised struct {
+	At    time.Duration `json:"atNs"`
+	Alert ids.Alert     `json:"alert"`
+}
+
+// EventKind implements Event.
+func (AlertRaised) EventKind() string { return "alert" }
+
+// AttackPhase is published when a scheduled attack window begins or ends.
+// The scenario layer owns the attack campaign and injects these via
+// Session.EmitAttackPhase; sites driven without a campaign never see one.
+type AttackPhase struct {
+	At     time.Duration `json:"atNs"`
+	Attack string        `json:"attack"`
+	Active bool          `json:"active"`
+}
+
+// EventKind implements Event.
+func (AttackPhase) EventKind() string { return "attack-phase" }
+
+// Security-response kinds.
+const (
+	// ResponseModeEscalation: the live risk register escalated the
+	// operating mode (counted as Metrics.SecurityResponses).
+	ResponseModeEscalation = "mode-escalation"
+	// ResponseChannelHop: the coordinator hopped the site off a degraded
+	// channel (counted as Metrics.ChannelHops).
+	ResponseChannelHop = "channel-hop"
+)
+
+// SecurityResponse is published when the site actively responds to an
+// attack: a live-risk mode escalation or a channel-agility hop.
+type SecurityResponse struct {
+	At     time.Duration `json:"atNs"`
+	Kind   string        `json:"kind"` // ResponseModeEscalation | ResponseChannelHop
+	Detail string        `json:"detail"`
+}
+
+// EventKind implements Event.
+func (SecurityResponse) EventKind() string { return "security-response" }
+
+// ModeChange is published on every operating-mode transition of the
+// continuous risk assessment, escalations and relaxations alike.
+type ModeChange struct {
+	At   time.Duration `json:"atNs"`
+	From string        `json:"from"`
+	To   string        `json:"to"`
+}
+
+// EventKind implements Event.
+func (ModeChange) EventKind() string { return "mode-change" }
+
+// MissionPhase is published on every haul-cycle phase transition.
+type MissionPhase struct {
+	At    time.Duration `json:"atNs"`
+	Phase string        `json:"phase"`
+	// Detail is the human-readable transition ("phase -> to-landing
+	// (loaded=true)"), mirroring the operational timeline entry.
+	Detail string `json:"detail"`
+}
+
+// EventKind implements Event.
+func (MissionPhase) EventKind() string { return "mission-phase" }
+
+// Safety-event kinds.
+const (
+	// SafetyUnsafeEnter/SafetyUnsafeExit bound an unsafe episode: a worker
+	// inside the danger radius while the machine moves.
+	SafetyUnsafeEnter = "unsafe-enter"
+	SafetyUnsafeExit  = "unsafe-exit"
+	// SafetyCollision: a worker inside the collision radius (New marks the
+	// first tick of contact; the event repeats every colliding tick because
+	// the collision metric is tick-based).
+	SafetyCollision = "collision"
+	// SafetyFailSafeEngaged/Released bound a fail-safe stop latch
+	// (nav-integrity or comms-watchdog).
+	SafetyFailSafeEngaged  = "failsafe-engaged"
+	SafetyFailSafeReleased = "failsafe-released"
+)
+
+// SafetyEvent is published on safety-relevant transitions: unsafe-episode
+// boundaries, collision ticks, and fail-safe latch changes.
+type SafetyEvent struct {
+	At   time.Duration `json:"atNs"`
+	Kind string        `json:"kind"`
+	// Detail names the latch for fail-safe events and is empty otherwise.
+	Detail string `json:"detail,omitempty"`
+	// MinWorkerDistM is the triggering worker distance for unsafe/collision
+	// events, 0 otherwise.
+	MinWorkerDistM float64 `json:"minWorkerDistM,omitempty"`
+	// New is true on the first tick of a collision contact.
+	New bool `json:"new,omitempty"`
+}
+
+// EventKind implements Event.
+func (SafetyEvent) EventKind() string { return "safety" }
+
+// Observer receives the typed event stream of a session. Implementations
+// must be fast and must not mutate the site: they run synchronously inside
+// the simulation loop, and determinism depends on runs being identical with
+// and without subscribers. Use ObserverFuncs to implement a subset.
+type Observer interface {
+	OnTick(TickSnapshot)
+	OnAlert(AlertRaised)
+	OnAttackPhase(AttackPhase)
+	OnSecurityResponse(SecurityResponse)
+	OnModeChange(ModeChange)
+	OnMissionPhase(MissionPhase)
+	OnSafetyEvent(SafetyEvent)
+}
+
+// ObserverFuncs adapts a set of optional callbacks into an Observer; nil
+// fields ignore their event type.
+type ObserverFuncs struct {
+	Tick             func(TickSnapshot)
+	Alert            func(AlertRaised)
+	AttackPhase      func(AttackPhase)
+	SecurityResponse func(SecurityResponse)
+	ModeChange       func(ModeChange)
+	MissionPhase     func(MissionPhase)
+	Safety           func(SafetyEvent)
+}
+
+var _ Observer = (*ObserverFuncs)(nil)
+
+// OnTick implements Observer.
+func (o *ObserverFuncs) OnTick(t TickSnapshot) {
+	if o.Tick != nil {
+		o.Tick(t)
+	}
+}
+
+// OnAlert implements Observer.
+func (o *ObserverFuncs) OnAlert(a AlertRaised) {
+	if o.Alert != nil {
+		o.Alert(a)
+	}
+}
+
+// OnAttackPhase implements Observer.
+func (o *ObserverFuncs) OnAttackPhase(a AttackPhase) {
+	if o.AttackPhase != nil {
+		o.AttackPhase(a)
+	}
+}
+
+// OnSecurityResponse implements Observer.
+func (o *ObserverFuncs) OnSecurityResponse(s SecurityResponse) {
+	if o.SecurityResponse != nil {
+		o.SecurityResponse(s)
+	}
+}
+
+// OnModeChange implements Observer.
+func (o *ObserverFuncs) OnModeChange(m ModeChange) {
+	if o.ModeChange != nil {
+		o.ModeChange(m)
+	}
+}
+
+// OnMissionPhase implements Observer.
+func (o *ObserverFuncs) OnMissionPhase(m MissionPhase) {
+	if o.MissionPhase != nil {
+		o.MissionPhase(m)
+	}
+}
+
+// OnSafetyEvent implements Observer.
+func (o *ObserverFuncs) OnSafetyEvent(s SafetyEvent) {
+	if o.Safety != nil {
+		o.Safety(s)
+	}
+}
+
+// Subscribe registers an observer for the site's event stream. Observers
+// are invoked in subscription order, after the built-in metrics and
+// timeline observers, synchronously on the simulation loop.
+func (s *Site) Subscribe(o Observer) {
+	s.observers = append(s.observers, o)
+}
+
+// publishTick fans a tick snapshot out without boxing it into the Event
+// interface — this runs once per control tick, the simulation's hot loop,
+// and the large snapshot struct would otherwise heap-allocate on every
+// conversion. The rare discrete events go through publish.
+func (s *Site) publishTick(t TickSnapshot) {
+	for _, o := range s.observers {
+		o.OnTick(t)
+	}
+}
+
+// publish fans one event out to every observer (built-ins first).
+func (s *Site) publish(ev Event) {
+	switch e := ev.(type) {
+	case TickSnapshot:
+		s.publishTick(e)
+	case AlertRaised:
+		for _, o := range s.observers {
+			o.OnAlert(e)
+		}
+	case AttackPhase:
+		for _, o := range s.observers {
+			o.OnAttackPhase(e)
+		}
+	case SecurityResponse:
+		for _, o := range s.observers {
+			o.OnSecurityResponse(e)
+		}
+	case ModeChange:
+		for _, o := range s.observers {
+			o.OnModeChange(e)
+		}
+	case MissionPhase:
+		for _, o := range s.observers {
+			o.OnMissionPhase(e)
+		}
+	case SafetyEvent:
+		for _, o := range s.observers {
+			o.OnSafetyEvent(e)
+		}
+	}
+}

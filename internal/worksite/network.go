@@ -221,6 +221,7 @@ func (s *Site) commissionIDS() {
 // feed the live risk register and, for link degradation, trigger the
 // channel-agility countermeasure.
 func (s *Site) handleAlert(a ids.Alert) {
+	s.publish(AlertRaised{At: a.At, Alert: a})
 	if s.assessor != nil {
 		s.assessor.ObserveAlertType(a.Type, a.At)
 	}
@@ -242,7 +243,11 @@ func (s *Site) hopChannel(now time.Duration) {
 	}
 	s.lastHop = now
 	s.hops++
-	s.recordEvent(now, "channel-hop", fmt.Sprintf("hop #%d (link degradation)", s.hops))
+	s.publish(SecurityResponse{
+		At:     now,
+		Kind:   ResponseChannelHop,
+		Detail: fmt.Sprintf("hop #%d (link degradation)", s.hops),
+	})
 	for id := range s.adapters {
 		if id == NodeAttacker {
 			continue
@@ -251,7 +256,6 @@ func (s *Site) hopChannel(now time.Duration) {
 			n.Channel++
 		}
 	}
-	s.metrics.ChannelHops++
 }
 
 func linkName(a, b radio.NodeID) string {

@@ -65,7 +65,8 @@ type Report struct {
 	Radio    map[string]int64 `json:"radioDrops,omitempty"`
 }
 
-// commissionControl installs the periodic control loop and initial mission.
+// commissionControl installs the periodic control loop, the built-in
+// metrics/timeline observers, and the initial mission.
 func (s *Site) commissionControl() {
 	s.workerRand = s.rand.Derive("worker-move")
 	s.metrics.MinWorkerDistM = math.Inf(1)
@@ -74,6 +75,12 @@ func (s *Site) commissionControl() {
 	s.mission = phaseToHarvest
 	s.forwarder.SetState(machine.StateDriving)
 
+	// Built-ins subscribe first so external observers see the same stream
+	// the report is accumulated from, never a divergent one.
+	s.Subscribe(&metricsObserver{m: &s.metrics})
+	s.Subscribe(&timelineObserver{site: s})
+
+	s.firstTickAt = s.sched.Now() + s.cfg.TickPeriod
 	s.sched.Every(s.cfg.TickPeriod, func(sch *simclock.Scheduler) {
 		s.tickNo++
 		s.controlTick(sch.Now())
@@ -81,11 +88,11 @@ func (s *Site) commissionControl() {
 }
 
 // Run executes the scenario for d of virtual time and returns the report.
+// It is a thin compatibility wrapper over the Session API: construct a
+// session (or use NewSession) for stepping, observers and early stop.
 func (s *Site) Run(d time.Duration) (Report, error) {
-	if err := s.sched.Run(d); err != nil {
-		return Report{}, fmt.Errorf("worksite run: %w", err)
-	}
-	return s.report(d), nil
+	se := &Session{site: s}
+	return se.Run(d)
 }
 
 func (s *Site) report(d time.Duration) Report {
@@ -97,6 +104,13 @@ func (s *Site) report(d time.Duration) Report {
 		s.metrics.NavErrMeanM = s.metrics.navErrSum / float64(s.metrics.navErrCount)
 	}
 	rep := Report{Config: s.cfg, Duration: d, Metrics: s.metrics}
+	if math.IsInf(rep.Metrics.MinWorkerDistM, 1) {
+		// No minimum observed (no workers, or no ticks yet): report -1
+		// instead of +Inf, which json.Marshal rejects. Only the returned
+		// copy is translated — the live accumulator keeps +Inf so later
+		// ticks can still set a real minimum.
+		rep.Metrics.MinWorkerDistM = -1
+	}
 	if s.engine != nil {
 		rep.Alerts = s.engine.CountByType()
 	}
@@ -120,7 +134,7 @@ func (s *Site) controlTick(now time.Duration) {
 		s.sendForwarderStatus(now)
 		s.updateOperatingMode(now)
 	}
-	s.scoreTick(dt)
+	s.scoreTick(now)
 }
 
 // stopReasonRiskMode is the latch owned by the continuous-risk response (kept
@@ -140,9 +154,13 @@ func (s *Site) updateOperatingMode(now time.Duration) {
 		return
 	}
 	if mode > s.mode {
-		s.metrics.SecurityResponses++
+		s.publish(SecurityResponse{
+			At:     now,
+			Kind:   ResponseModeEscalation,
+			Detail: fmt.Sprintf("%s -> %s", s.mode, mode),
+		})
 	}
-	s.recordEvent(now, "risk-mode", fmt.Sprintf("%s -> %s", s.mode, mode))
+	s.publish(ModeChange{At: now, From: s.mode.String(), To: mode.String()})
 	s.mode = mode
 	switch mode {
 	case risk.ModeSafeStop:
@@ -230,7 +248,7 @@ func (s *Site) updateLocalization(now time.Duration) {
 
 	if s.cfg.Profile.GNSSGuard {
 		// Fail-safe: untrusted localization latches a nav-integrity stop.
-		s.forwarder.SetStop(machine.StopReasonNav, !verdict.Trustworthy)
+		s.setFailSafe(now, machine.StopReasonNav, &s.navStopOn, !verdict.Trustworthy)
 		if verdict.Trustworthy && reading.HasFix {
 			s.believed = reading.Pos
 		}
@@ -249,7 +267,22 @@ func (s *Site) updateCommsFailSafe(now time.Duration) {
 	if !s.cfg.Profile.CommsFailSafe {
 		return
 	}
-	s.forwarder.SetStop(machine.StopReasonComms, s.watchdog.Expired(now))
+	s.setFailSafe(now, machine.StopReasonComms, &s.commsStopOn, s.watchdog.Expired(now))
+}
+
+// setFailSafe drives a fail-safe stop latch and publishes a SafetyEvent on
+// each transition. latched is the site-side shadow of the latch state (the
+// machine dedups internally, but transitions are an event concern).
+func (s *Site) setFailSafe(now time.Duration, reason string, latched *bool, on bool) {
+	if on != *latched {
+		*latched = on
+		kind := SafetyFailSafeReleased
+		if on {
+			kind = SafetyFailSafeEngaged
+		}
+		s.publish(SafetyEvent{At: now, Kind: kind, Detail: reason})
+	}
+	s.forwarder.SetStop(reason, on)
 }
 
 // updatePerception fuses local sensors with (fresh) drone detections and
@@ -295,7 +328,7 @@ func (s *Site) missionStep(now time.Duration, dt time.Duration) {
 				s.phaseLeft = s.cfg.UnloadTime
 				s.forwarder.SetState(machine.StateUnloading)
 			}
-			s.recordEvent(now, "mission", "phase -> "+s.mission.String())
+			s.publish(MissionPhase{At: now, Phase: s.mission.String(), Detail: "phase -> " + s.mission.String()})
 		}
 	case phaseLoading:
 		if s.forwarder.Stopped() {
@@ -309,7 +342,8 @@ func (s *Site) missionStep(now time.Duration, dt time.Duration) {
 			s.mission = phaseToLanding
 			s.planTo(s.landing, s.believed)
 			s.forwarder.SetState(machine.StateDriving)
-			s.recordEvent(now, "mission", fmt.Sprintf("phase -> to-landing (loaded=%v)", s.loaded))
+			s.publish(MissionPhase{At: now, Phase: s.mission.String(),
+				Detail: fmt.Sprintf("phase -> to-landing (loaded=%v)", s.loaded)})
 		}
 	case phaseUnloading:
 		if s.forwarder.Stopped() {
@@ -328,7 +362,8 @@ func (s *Site) missionStep(now time.Duration, dt time.Duration) {
 			s.mission = phaseToHarvest
 			s.planTo(s.harvest, s.believed)
 			s.forwarder.SetState(machine.StateDriving)
-			s.recordEvent(now, "mission", fmt.Sprintf("phase -> to-harvest (delivered=%v)", delivered))
+			s.publish(MissionPhase{At: now, Phase: s.mission.String(),
+				Detail: fmt.Sprintf("phase -> to-harvest (delivered=%v)", delivered)})
 		}
 	}
 }
@@ -386,8 +421,11 @@ func (s *Site) sendForwarderStatus(now time.Duration) {
 	_ = now
 }
 
-// scoreTick updates the safety and navigation KPIs.
-func (s *Site) scoreTick(dt time.Duration) {
+// scoreTick assesses the tick's safety and navigation state and publishes
+// it: safety transitions first, then the tick snapshot. The KPI
+// accumulation itself lives in the built-in metricsObserver, so external
+// subscribers read the exact stream the report is computed from.
+func (s *Site) scoreTick(now time.Duration) {
 	pos := s.forwarder.Pose.Pos
 	minDist := math.Inf(1)
 	for _, w := range s.workers {
@@ -395,28 +433,46 @@ func (s *Site) scoreTick(dt time.Duration) {
 			minDist = d
 		}
 	}
-	if minDist < s.metrics.MinWorkerDistM {
-		s.metrics.MinWorkerDistM = minDist
-	}
 
 	moving := s.forwarder.EffectiveSpeed() > 0.1 && s.forwarder.State() == machine.StateDriving
 	unsafeNow := moving && minDist < DangerRadiusM
-	if unsafeNow {
-		s.metrics.UnsafeTicks++
-		if !s.unsafe {
-			s.metrics.UnsafeEpisodes++
-		}
-		if minDist < CollisionRadiusM {
-			s.metrics.Collisions++
-		}
+	collidingNow := unsafeNow && minDist < CollisionRadiusM
+	if unsafeNow && !s.unsafe {
+		s.publish(SafetyEvent{At: now, Kind: SafetyUnsafeEnter, MinWorkerDistM: minDist})
 	}
-	s.unsafe = unsafeNow
+	if !unsafeNow && s.unsafe {
+		s.publish(SafetyEvent{At: now, Kind: SafetyUnsafeExit})
+	}
+	if collidingNow {
+		// Repeats every colliding tick: the collision KPI is tick-based.
+		s.publish(SafetyEvent{At: now, Kind: SafetyCollision, MinWorkerDistM: minDist, New: !s.colliding})
+	}
+	s.unsafe, s.colliding = unsafeNow, collidingNow
 
-	navErr := s.gnssErr.Len()
-	s.metrics.navErrSum += navErr
-	s.metrics.navErrCount++
-	if navErr > s.metrics.NavErrMaxM {
-		s.metrics.NavErrMaxM = navErr
+	snapDist := minDist
+	if math.IsInf(snapDist, 1) {
+		snapDist = -1 // no workers on site
 	}
-	_ = dt
+	alerts := 0
+	if s.engine != nil {
+		alerts = s.engine.Total()
+	}
+	s.lastTick = TickSnapshot{
+		N:              s.tickNo,
+		At:             now,
+		Mission:        s.mission.String(),
+		Mode:           s.OperatingMode().String(),
+		TruePos:        pos,
+		BelievedPos:    s.believed,
+		NavErrM:        s.gnssErr.Len(),
+		MinWorkerDistM: snapDist,
+		Unsafe:         unsafeNow,
+		Colliding:      collidingNow,
+		Stopped:        s.forwarder.Stopped(),
+		LogsDelivered:  s.metrics.LogsDelivered,
+		Collisions:     s.metrics.Collisions,
+		UnsafeEpisodes: s.metrics.UnsafeEpisodes,
+		Alerts:         alerts,
+	}
+	s.publishTick(s.lastTick)
 }

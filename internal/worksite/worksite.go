@@ -224,9 +224,18 @@ type Site struct {
 	lastVerdictOK  bool
 	lastVerdictWhy string
 
-	metrics  Metrics
-	unsafe   bool // currently inside an unsafe episode
-	timeline []TimelineEvent
+	metrics     Metrics
+	unsafe      bool // currently inside an unsafe episode
+	colliding   bool // currently inside the collision radius
+	navStopOn   bool // nav-integrity fail-safe latch shadow (event edge detection)
+	commsStopOn bool // comms-watchdog fail-safe latch shadow
+	timeline    []TimelineEvent
+
+	// observers receive the typed event stream; the built-in metrics and
+	// timeline observers subscribe first at commissioning.
+	observers   []Observer
+	lastTick    TickSnapshot
+	firstTickAt time.Duration // virtual time of control tick #1 (commissioning + one period)
 }
 
 type chanKey struct {
