@@ -13,7 +13,7 @@ import (
 // incident end-to-end — the evidence trail a conformity assessment asks for.
 type TimelineEvent struct {
 	At     time.Duration `json:"atNs"`
-	Kind   string        `json:"kind"` // mission | risk-mode | channel-hop
+	Kind   string        `json:"kind"` // mission | risk-mode | channel-hop | attack | safety | alert (merged at read time)
 	Detail string        `json:"detail"`
 }
 
