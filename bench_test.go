@@ -13,6 +13,7 @@ package repro
 // comparisons are visible directly in the benchmark output.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -51,7 +52,7 @@ func benchExperiment(b *testing.B, id string, metrics ...string) {
 	var out campaign.Outcome
 	for i := 0; i < b.N; i++ {
 		var err error
-		out, err = exp.Run(p)
+		out, err = exp.Run(context.Background(), p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -173,7 +174,7 @@ func benchCampaign(b *testing.B, parallel int) {
 	}
 	logs := -1.0
 	for i := 0; i < b.N; i++ {
-		res, err := campaign.Run(exp, opts)
+		res, err := campaign.Run(context.Background(), exp, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -296,7 +297,7 @@ func BenchmarkRiskAssessment(b *testing.B) {
 // a short evidence run.
 func BenchmarkPathway(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, err := core.RunPathway(core.PathwayOptions{
+		_, err := core.RunPathway(context.Background(), core.PathwayOptions{
 			Seed: benchSeed, Secured: true,
 			EvidenceRun: 5 * time.Minute, SOTIFTrials: 20,
 		})

@@ -1,15 +1,21 @@
 // Command attack-bench runs the E5 attack × defence matrix: every
 // implemented attack class from the paper's survey against the unsecured and
-// secured worksite under identical seeds, plus the E5a IDS-latency ablation.
+// secured worksite under identical seeds, plus the E5a IDS-latency and E5b
+// channel-agility ablations. SIGINT/SIGTERM cancel the in-flight runs at
+// their next control tick.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"repro/internal/experiments"
+	"repro/worksim"
+	"repro/worksim/experiments"
 )
 
 func main() {
@@ -24,10 +30,18 @@ func run() error {
 		seed     = flag.Int64("seed", 42, "experiment seed")
 		duration = flag.Duration("duration", 12*time.Minute, "simulated duration per cell")
 		csv      = flag.Bool("csv", false, "emit as CSV")
+		version  = flag.Bool("version", false, "print the worksim version and exit")
 	)
 	flag.Parse()
 
-	res, err := experiments.E5AttackMatrix(*seed, *duration)
+	if *version {
+		fmt.Println("attack-bench", worksim.Version)
+		return nil
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := experiments.E5AttackMatrix(ctx, *seed, *duration)
 	if err != nil {
 		return err
 	}
@@ -38,7 +52,7 @@ func run() error {
 	}
 	fmt.Println()
 
-	lat, err := experiments.E5aIDSLatencyRun(*seed, *duration)
+	lat, err := experiments.E5aIDSLatencyRun(ctx, *seed, *duration)
 	if err != nil {
 		return err
 	}
@@ -49,7 +63,7 @@ func run() error {
 	}
 	fmt.Println()
 
-	agility, err := experiments.E5bChannelAgility(*seed, *duration)
+	agility, err := experiments.E5bChannelAgility(ctx, *seed, *duration)
 	if err != nil {
 		return err
 	}

@@ -10,28 +10,35 @@
 //	campaign -experiments all -seeds 16 -json results.json
 //	campaign -sweep -scenarios all -profiles unsecured,secured -seeds 8
 //	campaign -sweep -scenarios rf-jamming,harsh-weather -duration 5m
+//	campaign -version
 //
 // With -sweep the campaign fans the cross-product scenario × profile × seed
-// out instead of the registered experiments: -scenarios selects named catalog
-// scenarios (internal/scenario) and -profiles the defence selections.
+// out instead of the registered experiments: -scenarios selects named
+// catalog scenarios (worksim.Catalog) and -profiles the defence selections.
 //
 // The seed range convention is [seed-base, seed-base+seeds); with a fixed
 // seed set the aggregate tables and the JSON export are byte-identical across
 // repeated runs regardless of -parallel.
+//
+// Campaigns are cancellable: SIGINT/SIGTERM drain the worker pool (in-flight
+// simulation runs stop at their next control tick) and the command exits
+// with the context error.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
-	"repro/internal/campaign"
-	_ "repro/internal/experiments" // populates the campaign registry
-	"repro/internal/report"
-	"repro/internal/scenario"
+	"repro/worksim"
+	"repro/worksim/experiments"
+	"repro/worksim/report"
 )
 
 func main() {
@@ -56,11 +63,17 @@ func run() error {
 		list      = flag.Bool("list", false, "list registered experiments and scenarios, then exit")
 		sweep     = flag.Bool("sweep", false, "sweep scenario x profile x seed instead of running experiments")
 		scenList  = flag.String("scenarios", "all", "comma-separated catalog scenario names for -sweep, or \"all\"")
-		profList  = flag.String("profiles", strings.Join(scenario.Profiles(), ","), "comma-separated security profiles for -sweep")
+		profList  = flag.String("profiles", strings.Join(worksim.Profiles(), ","), "comma-separated security profiles for -sweep")
 		sample    = flag.Duration("sample", 0, "record a per-seed timeseries point every this much simulated time (-sweep only, 0 = off)")
 		earlyStop = flag.String("early-stop", "", "end each -sweep run at the first tick matching this predicate (collision|unsafe|safe-stop|first-alert)")
+		version   = flag.Bool("version", false, "print the worksim version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("campaign", worksim.Version)
+		return nil
+	}
 
 	// Flags belong to one mode; reject cross-mode use instead of silently
 	// ignoring it (-scenarios in particular used to be the SOTIF count
@@ -95,25 +108,29 @@ func run() error {
 		fmt.Print(st.Render())
 		return nil
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *sweep {
-		return runSweep(sweepArgs{
+		return runSweep(ctx, sweepArgs{
 			scenList: *scenList, profList: *profList,
 			seeds: *seeds, seedBase: *seedBase, parallel: *parallel,
 			duration: *duration, sample: *sample, earlyStop: *earlyStop,
 			jsonPath: *jsonPath, csv: *csv,
 		})
 	}
-	exps, err := campaign.Default.Select(strings.Split(*expList, ","))
+	exps, err := experiments.Default.Select(strings.Split(*expList, ","))
 	if err != nil {
 		return err
 	}
 	if len(exps) == 0 {
 		return fmt.Errorf("no experiments selected")
 	}
-	opts := campaign.Options{
-		Seeds:    campaign.SeedRange{Base: *seedBase, Count: *seeds},
+	opts := experiments.Options{
+		Seeds:    experiments.SeedRange{Base: *seedBase, Count: *seeds},
 		Parallel: *parallel,
-		Params:   campaign.Params{Duration: *duration, Trials: *trials, Scenarios: *scenarios},
+		Params:   experiments.Params{Duration: *duration, Trials: *trials, Scenarios: *scenarios},
 	}
 
 	// With -json - the JSON stream owns stdout; table renderings are
@@ -121,9 +138,9 @@ func run() error {
 	jsonToStdout := *jsonPath == "-"
 
 	start := time.Now()
-	var results []*campaign.Result
+	var results []*experiments.Result
 	for _, exp := range exps {
-		res, err := campaign.Run(exp, opts)
+		res, err := experiments.Run(ctx, exp, opts)
 		if err != nil {
 			return err
 		}
@@ -171,7 +188,7 @@ type sweepArgs struct {
 	csv                bool
 }
 
-func runSweep(a sweepArgs) error {
+func runSweep(ctx context.Context, a sweepArgs) error {
 	split := func(s string) []string {
 		var out []string
 		for _, part := range strings.Split(s, ",") {
@@ -181,21 +198,21 @@ func runSweep(a sweepArgs) error {
 		}
 		return out
 	}
-	stop, err := campaign.EarlyStopByName(a.earlyStop)
+	stop, err := worksim.EarlyStopByName(a.earlyStop)
 	if err != nil {
 		return err
 	}
-	opts := campaign.SweepOptions{
+	opts := worksim.SweepOptions{
 		Scenarios:   split(a.scenList),
 		Profiles:    split(a.profList),
-		Seeds:       campaign.SeedRange{Base: a.seedBase, Count: a.seeds},
+		Seeds:       worksim.SeedRange{Base: a.seedBase, Count: a.seeds},
 		Parallel:    a.parallel,
 		Duration:    a.duration,
 		SampleEvery: a.sample,
 		EarlyStop:   stop,
 	}
 	start := time.Now()
-	res, err := campaign.Sweep(opts)
+	res, err := worksim.Sweep(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -226,7 +243,7 @@ func runSweep(a sweepArgs) error {
 
 func listTable() *report.Table {
 	t := report.NewTable("registered experiments", "id", "section", "description")
-	for _, e := range campaign.Default.All() {
+	for _, e := range experiments.Default.All() {
 		t.AddRow(e.ID, e.Section, e.Description)
 	}
 	return t
@@ -234,8 +251,8 @@ func listTable() *report.Table {
 
 func scenarioTable() (*report.Table, error) {
 	t := report.NewTable("scenario catalog (for -sweep / worksite-sim -scenario)", "name", "description")
-	for _, name := range scenario.List() {
-		s, err := scenario.Get(name)
+	for _, name := range worksim.Catalog() {
+		s, err := worksim.Lookup(name)
 		if err != nil {
 			return nil, err
 		}
@@ -244,7 +261,7 @@ func scenarioTable() (*report.Table, error) {
 	return t, nil
 }
 
-func writeJSON(path string, results []*campaign.Result) error {
+func writeJSON(path string, results []*experiments.Result) error {
 	var b strings.Builder
 	b.WriteString("[\n")
 	for i, r := range results {

@@ -1,19 +1,23 @@
 // Command ce-check runs the full certification pathway and prints the CE
 // conformity gap analysis against the standards registry: which essential
 // requirements are discharged by produced evidence, which remain open, and
-// whether the pathway is CE-ready.
+// whether the pathway is CE-ready. SIGINT/SIGTERM cancel the evidence run at
+// its next control tick.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/report"
-	"repro/internal/standards"
+	"repro/worksim"
+	"repro/worksim/pathway"
+	"repro/worksim/report"
 )
 
 func main() {
@@ -28,10 +32,18 @@ func run() error {
 		seed      = flag.Int64("seed", 42, "experiment seed")
 		unsecured = flag.Bool("unsecured", false, "evaluate the unsecured baseline pathway")
 		evidence  = flag.Duration("evidence-run", 10*time.Minute, "attack-campaign evidence run length")
+		version   = flag.Bool("version", false, "print the worksim version and exit")
 	)
 	flag.Parse()
 
-	res, err := core.RunPathway(core.PathwayOptions{
+	if *version {
+		fmt.Println("ce-check", worksim.Version)
+		return nil
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := pathway.Run(ctx, pathway.Options{
 		Seed:        *seed,
 		Secured:     !*unsecured,
 		EvidenceRun: *evidence,
@@ -42,7 +54,7 @@ func run() error {
 
 	reg := report.NewTable("Standards & regulations registry (paper Sections I-II, IV-D)",
 		"id", "kind", "status", "harmonized", "topic")
-	for _, e := range standards.Registry() {
+	for _, e := range pathway.Standards() {
 		reg.AddRow(e.ID, e.Kind.String(), e.Status.String(), e.Harmonized, e.Topic)
 	}
 	fmt.Print(reg.Render())

@@ -11,9 +11,10 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/experiments"
-	"repro/internal/report"
-	"repro/internal/risk"
+	"repro/worksim"
+	"repro/worksim/experiments"
+	"repro/worksim/pathway"
+	"repro/worksim/report"
 )
 
 func main() {
@@ -25,7 +26,13 @@ func main() {
 
 func run() error {
 	csv := flag.Bool("csv", false, "emit tables as CSV")
+	version := flag.Bool("version", false, "print the worksim version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("risk-assess", worksim.Version)
+		return nil
+	}
 
 	res, err := experiments.E6CombinedRisk()
 	if err != nil {
@@ -44,11 +51,11 @@ func run() error {
 	emit(experiments.E3CharacteristicTable())
 	emit(experiments.E4KnowledgeTransfer().Table)
 
-	uc := risk.BuildUseCase()
+	uc := pathway.BuildUseCase()
 	slt := report.NewTable("IEC 62443 zone/conduit SL gap analysis (full controls)",
 		"name", "kind", "met", "gaps")
-	achieved := risk.AchievedSL(&uc.Model, uc.FullControls())
-	for _, za := range risk.AssessArchitecture(uc.Architecture, achieved) {
+	achieved := pathway.AchievedSL(uc, uc.FullControls())
+	for _, za := range pathway.AssessArchitecture(uc.Architecture, achieved) {
 		var gaps []string
 		for _, g := range za.Gaps {
 			gaps = append(gaps, fmt.Sprintf("%s: %d<%d", g.FR, g.Achieved, g.Target))

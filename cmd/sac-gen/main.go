@@ -1,16 +1,21 @@
 // Command sac-gen runs the certification pathway and emits the resulting
 // security assurance case in GSN (default) or CAE form, with the evaluation
-// verdict Section V's modular assurance approach produces.
+// verdict Section V's modular assurance approach produces. SIGINT/SIGTERM
+// cancel the evidence run at its next control tick.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"repro/internal/core"
+	"repro/worksim"
+	"repro/worksim/pathway"
 )
 
 func main() {
@@ -27,10 +32,18 @@ func run() error {
 		cae       = flag.Bool("cae", false, "render Claim-Argument-Evidence instead of GSN")
 		asJSON    = flag.Bool("json", false, "emit the case in interchange JSON")
 		evidence  = flag.Duration("evidence-run", 10*time.Minute, "attack-campaign evidence run length")
+		version   = flag.Bool("version", false, "print the worksim version and exit")
 	)
 	flag.Parse()
 
-	res, err := core.RunPathway(core.PathwayOptions{
+	if *version {
+		fmt.Println("sac-gen", worksim.Version)
+		return nil
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := pathway.Run(ctx, pathway.Options{
 		Seed:        *seed,
 		Secured:     !*unsecured,
 		EvidenceRun: *evidence,

@@ -10,11 +10,12 @@
 //	worksite-sim -attack NAME        # sugar for -scenario NAME
 //	worksite-sim -trace -            # stream events as JSON lines to stdout
 //	worksite-sim -list-scenarios
+//	worksite-sim -version
 //
-// Scenarios come from the named catalog in internal/scenario (run with
-// -list-scenarios to enumerate them) or from a JSON spec file. The accepted
-// -attack names are derived from the scenario arming registry, so the help
-// text can never drift from the implemented attack classes.
+// Scenarios come from the worksim catalog (run with -list-scenarios to
+// enumerate them) or from a JSON spec file. The accepted -attack names are
+// derived from the attack registry, so the help text can never drift from
+// the implemented attack classes.
 //
 // With -trace PATH ("-" = stdout) the run streams its typed event feed —
 // per-tick snapshots, IDS alerts, attack phase transitions, security
@@ -22,21 +23,27 @@
 // lines of the form {"event": KIND, "data": {...}}, one per event, in
 // simulation order. Combined with -json the machine-readable trace and
 // report cover a single run end to end.
+//
+// The run is cancellable: SIGINT/SIGTERM stop the simulation at the next
+// control tick and the command exits with the context error.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
-	"repro/internal/report"
-	"repro/internal/scenario"
-	"repro/internal/worksite"
+	"repro/worksim"
+	"repro/worksim/event"
+	"repro/worksim/report"
 )
 
 func main() {
@@ -54,19 +61,24 @@ func run() error {
 		scenName = flag.String("scenario", "", "named catalog scenario to run (see -list-scenarios)")
 		specFile = flag.String("scenario-file", "", "JSON scenario spec file (fields overlay the baseline)")
 		attackNm = flag.String("attack", "none",
-			"attack scenario sugar (accepted: none|"+strings.Join(scenario.AttackNames(), "|")+")")
+			"attack scenario sugar (accepted: none|"+strings.Join(worksim.AttackNames(), "|")+")")
 		asJSON   = flag.Bool("json", false, "emit the report as JSON")
 		traceTo  = flag.String("trace", "", "stream run events as JSON lines to this path (\"-\" = stdout)")
 		showMap  = flag.Bool("map", false, "print the ASCII worksite map before and after the run")
 		timeline = flag.Int("timeline", 0, "print up to N operational timeline events after the run")
 		listScen = flag.Bool("list-scenarios", false, "list the scenario catalog and exit")
+		version  = flag.Bool("version", false, "print the worksim version and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println("worksite-sim", worksim.Version)
+		return nil
+	}
 	if *listScen {
 		t := report.NewTable("scenario catalog", "name", "attacks", "description")
-		for _, name := range scenario.List() {
-			s, err := scenario.Get(name)
+		for _, name := range worksim.Catalog() {
+			s, err := worksim.Lookup(name)
 			if err != nil {
 				return err
 			}
@@ -76,19 +88,22 @@ func run() error {
 		return nil
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	spec, err := resolveSpec(*scenName, *specFile, *attackNm)
 	if err != nil {
 		return err
 	}
+	opts := []worksim.Option{worksim.WithSeed(*seed), worksim.WithHorizon(*duration)}
 	if *secured {
-		spec.Profile = worksite.Secured()
+		opts = append(opts, worksim.WithProfile(worksim.Secured()))
 	}
 
-	sess, _, err := scenario.Build(spec, *seed, *duration)
+	sess, err := worksim.Open(spec, opts...)
 	if err != nil {
 		return err
 	}
-	site := sess.Site()
 	closeTrace := func() error { return nil }
 	if *traceTo != "" {
 		if closeTrace, err = subscribeTrace(sess, *traceTo); err != nil {
@@ -99,10 +114,10 @@ func run() error {
 	// most diagnostic part — but never mask the run error with a flush one.
 	defer func() { _ = closeTrace() }()
 	if *showMap {
-		fmt.Print(site.RenderMap(100))
+		fmt.Print(sess.RenderMap(100))
 		fmt.Println()
 	}
-	rep, err := sess.Run(*duration)
+	rep, err := sess.Run(ctx)
 	if err != nil {
 		return err
 	}
@@ -112,11 +127,11 @@ func run() error {
 		return err
 	}
 	if *showMap {
-		fmt.Print(site.RenderMap(100))
+		fmt.Print(sess.RenderMap(100))
 		fmt.Println()
 	}
 	if *timeline > 0 {
-		fmt.Print(site.RenderTimeline(*timeline))
+		fmt.Print(sess.RenderTimeline(*timeline))
 		fmt.Println()
 	}
 	if *asJSON {
@@ -131,7 +146,7 @@ func run() error {
 // subscribeTrace attaches a JSON-lines event writer to the session. Every
 // typed event becomes one line: {"event": KIND, "data": {...}}. The
 // returned func flushes (and closes, for files) the sink.
-func subscribeTrace(sess *worksite.Session, path string) (func() error, error) {
+func subscribeTrace(sess *worksim.Session, path string) (func() error, error) {
 	var (
 		sink io.Writer
 		file *os.File
@@ -153,14 +168,14 @@ func subscribeTrace(sess *worksite.Session, path string) (func() error, error) {
 			Data  any    `json:"data"`
 		}{kind, data})
 	}
-	sess.Subscribe(&worksite.ObserverFuncs{
-		Tick:             func(e worksite.TickSnapshot) { emit(e.EventKind(), e) },
-		Alert:            func(e worksite.AlertRaised) { emit(e.EventKind(), e) },
-		AttackPhase:      func(e worksite.AttackPhase) { emit(e.EventKind(), e) },
-		SecurityResponse: func(e worksite.SecurityResponse) { emit(e.EventKind(), e) },
-		ModeChange:       func(e worksite.ModeChange) { emit(e.EventKind(), e) },
-		MissionPhase:     func(e worksite.MissionPhase) { emit(e.EventKind(), e) },
-		Safety:           func(e worksite.SafetyEvent) { emit(e.EventKind(), e) },
+	sess.Subscribe(&event.ObserverFuncs{
+		Tick:             func(e event.TickSnapshot) { emit(e.EventKind(), e) },
+		Alert:            func(e event.AlertRaised) { emit(e.EventKind(), e) },
+		AttackPhase:      func(e event.AttackPhase) { emit(e.EventKind(), e) },
+		SecurityResponse: func(e event.SecurityResponse) { emit(e.EventKind(), e) },
+		ModeChange:       func(e event.ModeChange) { emit(e.EventKind(), e) },
+		MissionPhase:     func(e event.MissionPhase) { emit(e.EventKind(), e) },
+		Safety:           func(e event.SafetyEvent) { emit(e.EventKind(), e) },
 	})
 	return func() error {
 		if err := w.Flush(); err != nil {
@@ -176,23 +191,25 @@ func subscribeTrace(sess *worksite.Session, path string) (func() error, error) {
 // resolveSpec picks the scenario source: an explicit spec file wins, then a
 // named catalog scenario, then the -attack sugar (which resolves through the
 // same catalog; "none" is the clean baseline).
-func resolveSpec(scenName, specFile, attackNm string) (scenario.Spec, error) {
+func resolveSpec(scenName, specFile, attackNm string) (worksim.Scenario, error) {
 	switch {
 	case specFile != "":
-		return scenario.LoadFile(specFile)
+		return worksim.LoadSpec(specFile)
 	case scenName != "":
-		return scenario.Get(scenName)
+		return worksim.Lookup(scenName)
 	default:
-		return scenario.ForAttack(attackNm)
+		return worksim.ForAttack(attackNm)
 	}
 }
 
-func printReport(rep worksite.Report, spec scenario.Spec) {
+func printReport(rep worksim.Report, spec worksim.Scenario) {
+	// The report's config carries the profile that actually ran (options may
+	// have overridden the spec's own).
 	var profile string
-	switch spec.Profile {
-	case worksite.Unsecured():
+	switch rep.Config.Profile {
+	case worksim.Unsecured():
 		profile = "unsecured"
-	case worksite.Secured():
+	case worksim.Secured():
 		profile = "secured"
 	default:
 		profile = "custom"

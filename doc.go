@@ -6,26 +6,37 @@
 // combined safety–security risk-assessment methodology it proposes, and the
 // assurance-case and CE-conformity machinery it argues for.
 //
-// See README.md for the architecture overview, the package map, and how to
-// run the benchmarks and Monte-Carlo campaigns. The benchmark harness in
-// bench_test.go regenerates every table and figure through the experiment
-// registry (internal/campaign); the campaign CLI (cmd/campaign) fans any
-// registered experiment out over seed ranges with statistical aggregation.
+// The supported, stable surface is the public worksim façade:
 //
-// Operational situations are declarative: internal/scenario defines a
-// JSON-serializable Spec (site, weather, workers, drone, fusion policy,
-// security profile, attack schedule as data), a named catalog of standard
-// scenarios, and the attack-arming registry every harness resolves attack
-// names through. cmd/campaign -sweep fans the scenario x profile x seed
-// cross-product out over the campaign worker pool; cmd/worksite-sim runs a
-// single named scenario or a JSON spec file.
+//   - worksim — the Scenario catalog (Catalog/Lookup/ForAttack/LoadSpec),
+//     Open(spec, ...Option) returning a steppable, context-cancellable
+//     *Session, Report/Metrics, and Sweep(ctx, SweepOptions) for
+//     scenario × profile × seed campaigns. worksim.Version identifies the
+//     surface; every cmd/ binary reports it via -version.
+//   - worksim/scenariospec — the declarative JSON scenario model (site,
+//     weather, workers, drone, fusion policy, security profile, attack
+//     schedule as data).
+//   - worksim/event — the typed event stream (tick snapshots, IDS alerts,
+//     attack phases, security responses, mode changes, mission transitions,
+//     safety events) and the Observer interface.
+//   - worksim/pathway — the certification-pathway pipeline (combined risk
+//     assessment, operational evidence, assurance case, CE conformity) and
+//     the standards registry.
+//   - worksim/experiments — the registered E1–E10 experiment runners and
+//     the Monte-Carlo campaign engine with statistical aggregation.
+//   - worksim/report — the table/figure rendering primitives all artifacts
+//     share.
 //
-// Execution is session-based: worksite.NewSession (or scenario.Build, which
-// arms the attack schedule on top) returns a steppable handle publishing a
-// typed event stream — per-tick snapshots, IDS alerts, attack phases,
-// security responses, mode changes, mission transitions, safety events — to
-// subscribed observers, with the report's own KPI accumulation riding the
-// same stream. cmd/worksite-sim -trace streams the events as JSON lines;
-// campaign sweeps use the seam for early-stop predicates and downsampled
-// per-seed timeseries.
+// Execution is context-aware end to end: Session.RunFor/RunUntil/Run and
+// the campaign worker pool observe cancellation between control ticks and
+// surface ctx.Err(); a context that never fires yields byte-identical
+// results to an uncancellable run, so determinism and cancellability
+// compose. The cmd/ binaries install signal-driven cancellation, so Ctrl-C
+// stops a simulation at the next tick with the worker pool drained.
+//
+// Everything under internal/ is engine: free to evolve, reachable only
+// through the façade. The cmd/ binaries and examples/ import exclusively
+// repro/worksim... packages — a boundary enforced by a lint test
+// (TestFacadeBoundary in the worksim package). See README.md for the
+// architecture overview, the package map and the stable-vs-internal table.
 package repro

@@ -6,9 +6,9 @@
 // produce unsafe machine behaviour; the secured site converts them into
 // detected, fail-safe events.
 //
-// The whole adversary schedule is data (internal/scenario's multi-attack
+// The whole adversary schedule is data (the worksim catalog's multi-attack
 // spec); this example only swaps the security profile between runs. The
-// secured run additionally subscribes a session observer, so the incident
+// secured run additionally subscribes an event observer, so the incident
 // unfolds live: attack phases as the adversary schedules them, and the
 // site's security responses as the continuous risk assessment reacts.
 //
@@ -16,13 +16,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
 
-	"repro/internal/report"
-	"repro/internal/scenario"
-	"repro/internal/worksite"
+	"repro/worksim"
+	"repro/worksim/event"
+	"repro/worksim/report"
 )
 
 func main() {
@@ -37,7 +38,7 @@ func run() error {
 		seed = 42
 		d    = 20 * time.Minute
 	)
-	spec, err := scenario.Get("multi-attack")
+	spec, err := worksim.Lookup("multi-attack")
 	if err != nil {
 		return err
 	}
@@ -47,35 +48,40 @@ func run() error {
 		"unsafe_episodes", "collisions", "alert_types")
 	for _, prof := range []struct {
 		name    string
-		profile worksite.SecurityProfile
+		profile worksim.SecurityProfile
 		narrate bool
 	}{
-		{"unsecured", worksite.Unsecured(), false},
-		{"secured", worksite.Secured(), true},
+		{"unsecured", worksim.Unsecured(), false},
+		{"secured", worksim.Secured(), true},
 	} {
-		sess, _, err := scenario.Build(spec.WithProfile(prof.profile), seed, d)
-		if err != nil {
-			return err
+		opts := []worksim.Option{
+			worksim.WithSeed(seed),
+			worksim.WithHorizon(d),
+			worksim.WithProfile(prof.profile),
 		}
 		if prof.narrate {
 			fmt.Println("Incident narration (secured run):")
-			sess.Subscribe(&worksite.ObserverFuncs{
-				AttackPhase: func(e worksite.AttackPhase) {
+			opts = append(opts, worksim.WithObserver(&event.ObserverFuncs{
+				AttackPhase: func(e event.AttackPhase) {
 					state := "ends"
 					if e.Active {
 						state = "begins"
 					}
 					fmt.Printf("  [%5.0fs] attack    %s %s\n", e.At.Seconds(), e.Attack, state)
 				},
-				SecurityResponse: func(e worksite.SecurityResponse) {
+				SecurityResponse: func(e event.SecurityResponse) {
 					fmt.Printf("  [%5.0fs] response  %s (%s)\n", e.At.Seconds(), e.Kind, e.Detail)
 				},
-				ModeChange: func(e worksite.ModeChange) {
+				ModeChange: func(e event.ModeChange) {
 					fmt.Printf("  [%5.0fs] mode      %s -> %s\n", e.At.Seconds(), e.From, e.To)
 				},
-			})
+			}))
 		}
-		rep, err := sess.Run(d)
+		sess, err := worksim.Open(spec, opts...)
+		if err != nil {
+			return err
+		}
+		rep, err := sess.Run(context.Background())
 		if err != nil {
 			return err
 		}

@@ -10,7 +10,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/experiments"
+	"repro/worksim/experiments"
 )
 
 func main() {

@@ -1,15 +1,17 @@
-// Quickstart: build the Fig. 1 forestry worksite as a steppable session,
-// watch it work through a live observer, and print the final KPIs.
+// Quickstart: open the Fig. 1 forestry worksite through the public worksim
+// façade, watch it work through a live observer, and print the final KPIs.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
 
-	"repro/internal/worksite"
+	"repro/worksim"
+	"repro/worksim/event"
 )
 
 func main() {
@@ -20,37 +22,35 @@ func main() {
 }
 
 func run() error {
-	// A worksite is configured from a seed; everything that happens is a
-	// deterministic function of it.
-	cfg := worksite.DefaultConfig(42)
-	cfg.Profile = worksite.Secured() // full defence stack
-
-	// A session is the steppable handle on the simulation: subscribe typed
-	// observers, advance time, read the report.
-	sess, err := worksite.NewSession(cfg)
+	// A scenario declaratively describes the operational situation;
+	// everything that happens is a deterministic function of it, the seed
+	// and the horizon. Observers tap the run as it happens — here, a
+	// progress line every two simulated minutes plus every haul-cycle
+	// transition.
+	var nextProgress = 2 * time.Minute
+	sess, err := worksim.Open(worksim.Baseline(),
+		worksim.WithSeed(42),
+		worksim.WithHorizon(10*time.Minute),
+		worksim.WithProfile(worksim.Secured()), // full defence stack
+		worksim.WithObserver(&event.ObserverFuncs{
+			Tick: func(t event.TickSnapshot) {
+				if t.At < nextProgress {
+					return
+				}
+				nextProgress += 2 * time.Minute
+				fmt.Printf("  [%4.0fs] %-10s logs=%d min-worker-dist=%.1fm\n",
+					t.At.Seconds(), t.Mission, t.LogsDelivered, t.MinWorkerDistM)
+			},
+			MissionPhase: func(m event.MissionPhase) {
+				fmt.Printf("  [%4.0fs] %s\n", m.At.Seconds(), m.Detail)
+			},
+		}))
 	if err != nil {
 		return err
 	}
 
-	// Observers tap the run as it happens — here, a progress line every
-	// two simulated minutes plus every haul-cycle transition.
-	var nextProgress = 2 * time.Minute
-	sess.Subscribe(&worksite.ObserverFuncs{
-		Tick: func(t worksite.TickSnapshot) {
-			if t.At < nextProgress {
-				return
-			}
-			nextProgress += 2 * time.Minute
-			fmt.Printf("  [%4.0fs] %-10s logs=%d min-worker-dist=%.1fm\n",
-				t.At.Seconds(), t.Mission, t.LogsDelivered, t.MinWorkerDistM)
-		},
-		MissionPhase: func(m worksite.MissionPhase) {
-			fmt.Printf("  [%4.0fs] %s\n", m.At.Seconds(), m.Detail)
-		},
-	})
-
 	fmt.Println("Quickstart: 10 simulated minutes of autonomous log transport")
-	rep, err := sess.Run(10 * time.Minute)
+	rep, err := sess.Run(context.Background())
 	if err != nil {
 		return err
 	}

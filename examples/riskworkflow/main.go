@@ -7,13 +7,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/report"
-	"repro/internal/risk"
+	"repro/worksim/pathway"
+	"repro/worksim/report"
 )
 
 func main() {
@@ -30,7 +30,7 @@ func run() error {
 			name = "SECURED PATHWAY"
 		}
 		fmt.Printf("==== %s ====\n\n", name)
-		res, err := core.RunPathway(core.PathwayOptions{
+		res, err := pathway.Run(context.Background(), pathway.Options{
 			Seed:        42,
 			Secured:     secured,
 			EvidenceRun: 12 * time.Minute,
@@ -44,7 +44,7 @@ func run() error {
 	return nil
 }
 
-func printSummary(res *core.PathwayResult) {
+func printSummary(res *pathway.Result) {
 	// Risk.
 	maxBefore, maxAfter := 0, 0
 	for _, r := range res.RegisterBefore {
@@ -60,8 +60,8 @@ func printSummary(res *core.PathwayResult) {
 	fmt.Printf("TARA: max risk %d untreated -> %d with applied controls\n", maxBefore, maxAfter)
 
 	// Interplay.
-	sumB := risk.Summarize(res.InterplayBefore)
-	sumA := risk.Summarize(res.InterplayAfter)
+	sumB := pathway.SummarizeInterplay(res.InterplayBefore)
+	sumA := pathway.SummarizeInterplay(res.InterplayAfter)
 	fmt.Printf("Interplay (IEC TS 63074): %d/%d safety functions meet PLr untreated, %d/%d treated\n",
 		sumB.Meeting, sumB.Functions, sumA.Meeting, sumA.Functions)
 

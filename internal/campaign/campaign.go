@@ -15,6 +15,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -85,7 +86,11 @@ type Experiment struct {
 	// rather than N identical pseudo-samples.
 	SeedIndependent bool
 	// Run executes the experiment. It must be safe for concurrent use.
-	Run func(Params) (Outcome, error)
+	// Long-running experiments should honour ctx (simulation runners stop
+	// between control ticks and return ctx.Err()); pure analyses may ignore
+	// it. The campaign pool passes its own context through, so cancelling a
+	// campaign cancels every in-flight run.
+	Run func(ctx context.Context, p Params) (Outcome, error)
 }
 
 // Registry holds registered experiments in registration order.

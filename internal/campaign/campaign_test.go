@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -10,7 +11,7 @@ import (
 func TestRegistryRegisterAndSelect(t *testing.T) {
 	r := NewRegistry()
 	mk := func(id string) Experiment {
-		return Experiment{ID: id, Run: func(Params) (Outcome, error) { return Outcome{}, nil }}
+		return Experiment{ID: id, Run: func(context.Context, Params) (Outcome, error) { return Outcome{}, nil }}
 	}
 	for _, id := range []string{"b", "a", "c"} {
 		if err := r.Register(mk(id)); err != nil {
@@ -80,14 +81,14 @@ func seedEcho() Experiment {
 	return Experiment{
 		ID:      "echo",
 		Section: "test",
-		Run: func(p Params) (Outcome, error) {
+		Run: func(_ context.Context, p Params) (Outcome, error) {
 			return Outcome{Metrics: map[string]float64{"seed": float64(p.Seed)}}, nil
 		},
 	}
 }
 
 func TestRunAggregation(t *testing.T) {
-	res, err := Run(seedEcho(), Options{Seeds: SeedRange{Base: 1, Count: 4}, Parallel: 2})
+	res, err := Run(context.Background(), seedEcho(), Options{Seeds: SeedRange{Base: 1, Count: 4}, Parallel: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestRunAggregation(t *testing.T) {
 }
 
 func TestRunSingleSeedCI(t *testing.T) {
-	res, err := Run(seedEcho(), Options{Seeds: SeedRange{Base: 7, Count: 1}})
+	res, err := Run(context.Background(), seedEcho(), Options{Seeds: SeedRange{Base: 7, Count: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,12 +134,12 @@ func TestRunSeedIndependentCollapses(t *testing.T) {
 	exp := Experiment{
 		ID:              "pure",
 		SeedIndependent: true,
-		Run: func(p Params) (Outcome, error) {
+		Run: func(_ context.Context, p Params) (Outcome, error) {
 			calls++
 			return Outcome{Metrics: map[string]float64{"x": 7}}, nil
 		},
 	}
-	res, err := Run(exp, Options{Seeds: SeedRange{Base: 3, Count: 8}, Parallel: 1})
+	res, err := Run(context.Background(), exp, Options{Seeds: SeedRange{Base: 3, Count: 8}, Parallel: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,19 +158,19 @@ func TestRunSeedIndependentCollapses(t *testing.T) {
 }
 
 func TestRunEmptySeedRange(t *testing.T) {
-	if _, err := Run(seedEcho(), Options{}); err == nil {
+	if _, err := Run(context.Background(), seedEcho(), Options{}); err == nil {
 		t.Fatal("empty seed range accepted")
 	}
 }
 
 func TestRunPropagatesError(t *testing.T) {
-	boom := Experiment{ID: "boom", Run: func(p Params) (Outcome, error) {
+	boom := Experiment{ID: "boom", Run: func(_ context.Context, p Params) (Outcome, error) {
 		if p.Seed == 3 {
 			return Outcome{}, errSentinel
 		}
 		return Outcome{Metrics: map[string]float64{"x": 1}}, nil
 	}}
-	_, err := Run(boom, Options{Seeds: SeedRange{Base: 1, Count: 4}, Parallel: 4})
+	_, err := Run(context.Background(), boom, Options{Seeds: SeedRange{Base: 1, Count: 4}, Parallel: 4})
 	if err == nil || !strings.Contains(err.Error(), "seed 3") {
 		t.Fatalf("error not propagated with seed: %v", err)
 	}
@@ -183,7 +184,7 @@ func (e errTest) Error() string { return string(e) }
 
 func TestResultTableAndJSONDeterministic(t *testing.T) {
 	run := func(parallel int) *Result {
-		res, err := Run(seedEcho(), Options{Seeds: SeedRange{Base: 1, Count: 6}, Parallel: parallel})
+		res, err := Run(context.Background(), seedEcho(), Options{Seeds: SeedRange{Base: 1, Count: 6}, Parallel: parallel})
 		if err != nil {
 			t.Fatal(err)
 		}

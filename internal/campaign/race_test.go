@@ -10,6 +10,7 @@ package campaign_test
 // of the serial run — the parallel runner may not perturb a single bit.
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -38,12 +39,12 @@ func TestCampaignParallelMatchesSerial(t *testing.T) {
 		Params: campaign.Params{Trials: 20},
 	}
 	opts.Parallel = 1
-	serial, err := campaign.Run(exp, opts)
+	serial, err := campaign.Run(context.Background(), exp, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.Parallel = 4
-	parallel, err := campaign.Run(exp, opts)
+	parallel, err := campaign.Run(context.Background(), exp, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,12 +95,12 @@ func TestCampaignWorksiteParallel(t *testing.T) {
 		Parallel: 4,
 		Params:   campaign.Params{Duration: campaignShortRun},
 	}
-	par, err := campaign.Run(exp, opts)
+	par, err := campaign.Run(context.Background(), exp, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.Parallel = 1
-	ser, err := campaign.Run(exp, opts)
+	ser, err := campaign.Run(context.Background(), exp, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

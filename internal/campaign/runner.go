@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -90,7 +91,16 @@ type Result struct {
 // Run fans exp out over the seed range with a bounded worker pool and
 // aggregates the per-seed metrics. The per-seed result order is the seed
 // order regardless of scheduling, so output is independent of Parallel.
-func Run(exp Experiment, opts Options) (*Result, error) {
+//
+// The context cancels the campaign: workers stop claiming seeds once it
+// fires, in-flight runs receive it through exp.Run (simulation-backed
+// experiments stop between control ticks), and after the pool drains Run
+// returns ctx.Err(). A context that never fires yields byte-identical
+// results to an uncancellable run.
+func Run(ctx context.Context, exp Experiment, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	seeds := opts.Seeds.Seeds()
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("campaign %s: empty seed range", exp.ID)
@@ -121,18 +131,26 @@ func Run(exp Experiment, opts Options) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(seeds) {
 					return
 				}
 				p := params
 				p.Seed = seeds[i]
-				out, err := exp.Run(p)
+				out, err := exp.Run(ctx, p)
 				slots[i] = slot{out: out, err: err}
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// The pool has drained; partial per-seed results are discarded so a
+		// cancelled campaign can never be mistaken for a completed one.
+		return nil, fmt.Errorf("campaign %s: %w", exp.ID, err)
+	}
 
 	res := &Result{
 		ExperimentID: exp.ID,
@@ -224,11 +242,12 @@ func (r *Result) JSON() ([]byte, error) {
 
 // RunAll campaigns each experiment in turn over the same seed range. The
 // per-experiment fan-out is parallel; experiments run sequentially so their
-// summary tables stream in a stable order.
-func RunAll(exps []Experiment, opts Options) ([]*Result, error) {
+// summary tables stream in a stable order. A fired context aborts between
+// (and inside) experiments with ctx.Err().
+func RunAll(ctx context.Context, exps []Experiment, opts Options) ([]*Result, error) {
 	out := make([]*Result, 0, len(exps))
 	for _, e := range exps {
-		res, err := Run(e, opts)
+		res, err := Run(ctx, e, opts)
 		if err != nil {
 			return out, err
 		}

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"time"
@@ -54,6 +55,35 @@ type TimePoint struct {
 	Alerts         int           `json:"alerts"`
 }
 
+// SampleObserver returns the downsampling observer behind per-run
+// timeseries: the first tick at or past each multiple of every becomes one
+// TimePoint appended to *into. Both the sweep's SampleEvery path and the
+// worksim façade's WithSampleInterval option install this same observer, so
+// the two surfaces can never drift on sampling policy or recorded fields.
+func SampleObserver(every time.Duration, into *[]TimePoint) worksite.Observer {
+	next := every
+	return &worksite.ObserverFuncs{Tick: func(t worksite.TickSnapshot) {
+		if t.At < next {
+			return
+		}
+		for next <= t.At {
+			next += every
+		}
+		*into = append(*into, TimePoint{
+			At:             t.At,
+			Mission:        t.Mission,
+			Mode:           t.Mode,
+			NavErrM:        t.NavErrM,
+			MinWorkerDistM: t.MinWorkerDistM,
+			Stopped:        t.Stopped,
+			LogsDelivered:  t.LogsDelivered,
+			Collisions:     t.Collisions,
+			UnsafeEpisodes: t.UnsafeEpisodes,
+			Alerts:         t.Alerts,
+		})
+	}}
+}
+
 // EarlyStopByName resolves a named early-stop predicate — the CLI surface
 // of SweepOptions.EarlyStop.
 func EarlyStopByName(name string) (func(worksite.TickSnapshot) bool, error) {
@@ -97,7 +127,15 @@ type SweepResult struct {
 // existing bounded pool and aggregation machinery: each cell becomes an
 // ephemeral experiment campaigned over the seed range, so per-cell output is
 // byte-reproducible regardless of Parallel.
-func Sweep(opts SweepOptions) (*SweepResult, error) {
+//
+// The context cancels the sweep end to end: the per-cell worker pool stops
+// claiming seeds, in-flight simulation runs stop between control ticks, and
+// Sweep returns ctx.Err() once the pool has drained. A context that never
+// fires yields byte-identical output to an uncancellable sweep.
+func Sweep(ctx context.Context, opts SweepOptions) (*SweepResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	names := opts.Scenarios
 	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
 		names = scenario.List()
@@ -128,11 +166,11 @@ func Sweep(opts SweepOptions) (*SweepResult, error) {
 				Section:     "sweep",
 				Description: spec.Description,
 				Defaults:    Params{Duration: d},
-				Run: func(p Params) (Outcome, error) {
-					return runSweepCell(cellSpec, p, opts)
+				Run: func(ctx context.Context, p Params) (Outcome, error) {
+					return runSweepCell(ctx, cellSpec, p, opts)
 				},
 			}
-			cell, err := Run(exp, Options{Seeds: opts.Seeds, Parallel: opts.Parallel})
+			cell, err := Run(ctx, exp, Options{Seeds: opts.Seeds, Parallel: opts.Parallel})
 			if err != nil {
 				return nil, fmt.Errorf("sweep %s: %w", exp.ID, err)
 			}
@@ -147,9 +185,9 @@ func Sweep(opts SweepOptions) (*SweepResult, error) {
 // instrumented path drives a session tick by tick, so the two are the same
 // simulation advanced in different strides — deterministically identical
 // when no predicate cuts the run short.
-func runSweepCell(spec scenario.Spec, p Params, opts SweepOptions) (Outcome, error) {
+func runSweepCell(ctx context.Context, spec scenario.Spec, p Params, opts SweepOptions) (Outcome, error) {
 	if opts.SampleEvery <= 0 && opts.EarlyStop == nil {
-		rep, err := scenario.Run(spec, p.Seed, p.Duration)
+		rep, err := scenario.Run(ctx, spec, p.Seed, p.Duration)
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -162,29 +200,9 @@ func runSweepCell(spec scenario.Spec, p Params, opts SweepOptions) (Outcome, err
 	}
 	var series []TimePoint
 	if opts.SampleEvery > 0 {
-		nextSample := opts.SampleEvery
-		sess.Subscribe(&worksite.ObserverFuncs{Tick: func(t worksite.TickSnapshot) {
-			if t.At < nextSample {
-				return
-			}
-			for nextSample <= t.At {
-				nextSample += opts.SampleEvery
-			}
-			series = append(series, TimePoint{
-				At:             t.At,
-				Mission:        t.Mission,
-				Mode:           t.Mode,
-				NavErrM:        t.NavErrM,
-				MinWorkerDistM: t.MinWorkerDistM,
-				Stopped:        t.Stopped,
-				LogsDelivered:  t.LogsDelivered,
-				Collisions:     t.Collisions,
-				UnsafeEpisodes: t.UnsafeEpisodes,
-				Alerts:         t.Alerts,
-			})
-		}})
+		sess.Subscribe(SampleObserver(opts.SampleEvery, &series))
 	}
-	stopped, err := sess.RunUntil(opts.EarlyStop)
+	stopped, err := sess.RunUntil(ctx, opts.EarlyStop)
 	if err != nil {
 		return Outcome{}, err
 	}

@@ -5,6 +5,7 @@ package campaign_test
 // worker-pool width — and keep cells in the requested scenario-major order.
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -14,7 +15,7 @@ import (
 
 func sweepJSON(t *testing.T, parallel int) []byte {
 	t.Helper()
-	res, err := campaign.Sweep(campaign.SweepOptions{
+	res, err := campaign.Sweep(context.Background(), campaign.SweepOptions{
 		Scenarios: []string{"gnss-spoof", "baseline"},
 		Seeds:     campaign.SeedRange{Base: 1, Count: 3},
 		Parallel:  parallel,
@@ -44,7 +45,7 @@ func TestSweepParallelEquality(t *testing.T) {
 // profiles within each scenario, every cell carrying per-seed runs and
 // aggregates.
 func TestSweepShapeAndOrder(t *testing.T) {
-	res, err := campaign.Sweep(campaign.SweepOptions{
+	res, err := campaign.Sweep(context.Background(), campaign.SweepOptions{
 		Scenarios: []string{"gnss-spoof", "baseline"},
 		Profiles:  []string{"unsecured", "secured"},
 		Seeds:     campaign.SeedRange{Base: 5, Count: 2},
@@ -105,13 +106,13 @@ func TestSweepInstrumentationInert(t *testing.T) {
 		Parallel:  2,
 		Duration:  4 * time.Minute,
 	}
-	plain, err := campaign.Sweep(base)
+	plain, err := campaign.Sweep(context.Background(), base)
 	if err != nil {
 		t.Fatalf("Sweep: %v", err)
 	}
 	sampled := base
 	sampled.SampleEvery = 30 * time.Second
-	inst, err := campaign.Sweep(sampled)
+	inst, err := campaign.Sweep(context.Background(), sampled)
 	if err != nil {
 		t.Fatalf("instrumented Sweep: %v", err)
 	}
@@ -145,7 +146,7 @@ func TestSweepInstrumentationInert(t *testing.T) {
 
 // TestSweepEarlyStop: a predicate cuts runs short and records the cut.
 func TestSweepEarlyStop(t *testing.T) {
-	res, err := campaign.Sweep(campaign.SweepOptions{
+	res, err := campaign.Sweep(context.Background(), campaign.SweepOptions{
 		Scenarios: []string{"gnss-spoof"},
 		Profiles:  []string{"secured"},
 		Seeds:     campaign.SeedRange{Base: 1, Count: 2},
@@ -195,13 +196,13 @@ func TestEarlyStopByName(t *testing.T) {
 
 // TestSweepRejectsUnknownNames: bad scenario or profile names fail fast.
 func TestSweepRejectsUnknownNames(t *testing.T) {
-	if _, err := campaign.Sweep(campaign.SweepOptions{
+	if _, err := campaign.Sweep(context.Background(), campaign.SweepOptions{
 		Scenarios: []string{"atlantis"},
 		Seeds:     campaign.SeedRange{Base: 1, Count: 1},
 	}); err == nil {
 		t.Fatal("unknown scenario accepted")
 	}
-	if _, err := campaign.Sweep(campaign.SweepOptions{
+	if _, err := campaign.Sweep(context.Background(), campaign.SweepOptions{
 		Scenarios: []string{"baseline"},
 		Profiles:  []string{"tinfoil"},
 		Seeds:     campaign.SeedRange{Base: 1, Count: 1},

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -83,8 +84,13 @@ type PathwayResult struct {
 	Conformity standards.ConformityReport `json:"conformity"`
 }
 
-// RunPathway executes the full pipeline.
-func RunPathway(opts PathwayOptions) (*PathwayResult, error) {
+// RunPathway executes the full pipeline. The context bounds the wall-clock
+// of the operational-evidence campaign (the pipeline's only long-running
+// stage): a cancelled or expired context surfaces as ctx.Err().
+func RunPathway(ctx context.Context, opts PathwayOptions) (*PathwayResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	res := &PathwayResult{Options: opts}
 	uc := risk.BuildUseCase()
@@ -116,7 +122,7 @@ func RunPathway(opts PathwayOptions) (*PathwayResult, error) {
 	res.Transfer = risk.TransferKnowledge(&uc.Model)
 
 	// 2. Operational evidence: attack campaign against the (un)secured site.
-	res.Worksite, err = runEvidenceCampaign(opts)
+	res.Worksite, err = runEvidenceCampaign(ctx, opts)
 	if err != nil {
 		return nil, fmt.Errorf("pathway: %w", err)
 	}
@@ -148,15 +154,16 @@ func RunPathway(opts PathwayOptions) (*PathwayResult, error) {
 // runEvidenceCampaign runs the worksite under a representative multi-attack
 // campaign and returns the KPI report — the operational evidence the
 // assurance case binds.
-func runEvidenceCampaign(opts PathwayOptions) (worksite.Report, error) {
+func runEvidenceCampaign(ctx context.Context, opts PathwayOptions) (worksite.Report, error) {
 	cfg := worksite.DefaultConfig(opts.Seed)
 	if opts.Secured {
 		cfg.Profile = worksite.Secured()
 	}
-	site, err := worksite.New(cfg)
+	sess, err := worksite.NewSession(cfg)
 	if err != nil {
 		return worksite.Report{}, err
 	}
+	site := sess.Site()
 	d := opts.EvidenceRun
 	c := attack.NewCampaign()
 	// Phases at fractions of the run so shorter evidence runs still see all
@@ -173,7 +180,7 @@ func runEvidenceCampaign(opts PathwayOptions) (worksite.Report, error) {
 	mid := geo.V(0.5*site.Grid().Width(), 0.5*site.Grid().Height())
 	c.Add(frac(7, 10), frac(9, 10), attack.NewJamming(site.Medium(), "jam-ev", mid, 1, 38, true))
 	c.Schedule(site.Scheduler())
-	return site.Run(d)
+	return sess.Run(ctx, d)
 }
 
 // runBootEvidence exercises the measured-boot substrate: a clean boot with

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -10,7 +11,7 @@ import (
 
 func runPathway(t *testing.T, secured bool) *PathwayResult {
 	t.Helper()
-	res, err := RunPathway(PathwayOptions{
+	res, err := RunPathway(context.Background(), PathwayOptions{
 		Seed:        42,
 		Secured:     secured,
 		EvidenceRun: 10 * time.Minute,

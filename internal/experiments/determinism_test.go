@@ -9,13 +9,14 @@ package experiments
 // Monte-Carlo aggregation guarantees.
 
 import (
+	"context"
 	"testing"
 	"time"
 )
 
 func TestE1DeterministicRendering(t *testing.T) {
 	run := func() string {
-		res, err := E1WorksiteBaseline(42, 10*time.Minute)
+		res, err := E1WorksiteBaseline(context.Background(), 42, 10*time.Minute)
 		if err != nil {
 			t.Fatalf("E1: %v", err)
 		}
@@ -29,7 +30,7 @@ func TestE1DeterministicRendering(t *testing.T) {
 
 func TestE5DeterministicRendering(t *testing.T) {
 	run := func() string {
-		res, err := E5AttackMatrix(42, 6*time.Minute)
+		res, err := E5AttackMatrix(context.Background(), 42, 6*time.Minute)
 		if err != nil {
 			t.Fatalf("E5: %v", err)
 		}
@@ -45,11 +46,11 @@ func TestE5DeterministicRendering(t *testing.T) {
 // actually produce different trajectories, otherwise the campaign's seed
 // sweep measures nothing.
 func TestE1SeedSensitivity(t *testing.T) {
-	one, err := E1WorksiteBaseline(1, 10*time.Minute)
+	one, err := E1WorksiteBaseline(context.Background(), 1, 10*time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
-	two, err := E1WorksiteBaseline(2, 10*time.Minute)
+	two, err := E1WorksiteBaseline(context.Background(), 2, 10*time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -27,9 +28,9 @@ type E1Result struct {
 
 // E1WorksiteBaseline runs the clean (attack-free) baseline scenario under
 // both profiles.
-func E1WorksiteBaseline(seed int64, d time.Duration) (E1Result, error) {
+func E1WorksiteBaseline(ctx context.Context, seed int64, d time.Duration) (E1Result, error) {
 	run := func(profile worksite.SecurityProfile) (worksite.Report, error) {
-		return scenario.Run(scenario.Baseline().WithProfile(profile), seed, d)
+		return scenario.Run(ctx, scenario.Baseline().WithProfile(profile), seed, d)
 	}
 	uns, err := run(worksite.Unsecured())
 	if err != nil {
@@ -180,7 +181,7 @@ func E5AttackNames() []string {
 // Each cell is the class's catalog scenario with the profile swapped in, so
 // the matrix and the scenario API can never disagree about an attack's
 // schedule or parameters.
-func E5AttackMatrix(seed int64, d time.Duration) (E5Result, error) {
+func E5AttackMatrix(ctx context.Context, seed int64, d time.Duration) (E5Result, error) {
 	var res E5Result
 	t := report.NewTable(
 		fmt.Sprintf("E5: attack x defence matrix, %v simulated, seed %d", d, seed),
@@ -198,7 +199,7 @@ func E5AttackMatrix(seed int64, d time.Duration) (E5Result, error) {
 			{"unsecured", worksite.Unsecured()},
 			{"secured", worksite.Secured()},
 		} {
-			rep, err := scenario.Run(spec.WithProfile(prof.profile), seed, d)
+			rep, err := scenario.Run(ctx, spec.WithProfile(prof.profile), seed, d)
 			if err != nil {
 				return E5Result{}, fmt.Errorf("e5 %s/%s: %w", atk, prof.name, err)
 			}
@@ -229,7 +230,7 @@ type E5bResult struct {
 
 // E5bChannelAgility is the availability ablation: a narrowband jammer against
 // the secured site with and without the channel-agility response.
-func E5bChannelAgility(seed int64, d time.Duration) (E5bResult, error) {
+func E5bChannelAgility(ctx context.Context, seed int64, d time.Duration) (E5bResult, error) {
 	var res E5bResult
 	t := report.NewTable(
 		fmt.Sprintf("E5b: narrowband jamming vs channel agility, %v simulated", d),
@@ -241,7 +242,7 @@ func E5bChannelAgility(seed int64, d time.Duration) (E5bResult, error) {
 	for _, agility := range []bool{false, true} {
 		prof := worksite.Secured()
 		prof.ChannelAgility = agility
-		rep, err := scenario.Run(spec.WithProfile(prof), seed, d)
+		rep, err := scenario.Run(ctx, spec.WithProfile(prof), seed, d)
 		if err != nil {
 			return E5bResult{}, fmt.Errorf("e5b: %w", err)
 		}
@@ -270,7 +271,7 @@ type E5aResult struct {
 }
 
 // E5aIDSLatencyRun executes the IDS-latency ablation.
-func E5aIDSLatencyRun(seed int64, d time.Duration) (E5aResult, error) {
+func E5aIDSLatencyRun(ctx context.Context, seed int64, d time.Duration) (E5aResult, error) {
 	spec, err := scenario.ForAttack("deauth-flood")
 	if err != nil {
 		return E5aResult{}, err
@@ -281,7 +282,7 @@ func E5aIDSLatencyRun(seed int64, d time.Duration) (E5aResult, error) {
 	if err != nil {
 		return E5aResult{}, err
 	}
-	rep, err := sess.Run(d)
+	rep, err := sess.Run(ctx, d)
 	if err != nil {
 		return E5aResult{}, err
 	}

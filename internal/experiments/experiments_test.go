@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
 )
 
 func TestE1Baseline(t *testing.T) {
-	res, err := E1WorksiteBaseline(42, 15*time.Minute)
+	res, err := E1WorksiteBaseline(context.Background(), 42, 15*time.Minute)
 	if err != nil {
 		t.Fatalf("E1: %v", err)
 	}
@@ -72,7 +73,7 @@ func TestE4Transfer(t *testing.T) {
 }
 
 func TestE5MatrixShape(t *testing.T) {
-	res, err := E5AttackMatrix(11, 8*time.Minute)
+	res, err := E5AttackMatrix(context.Background(), 11, 8*time.Minute)
 	if err != nil {
 		t.Fatalf("E5: %v", err)
 	}
@@ -107,7 +108,7 @@ func TestE5MatrixShape(t *testing.T) {
 }
 
 func TestE5bChannelAgility(t *testing.T) {
-	res, err := E5bChannelAgility(17, 12*time.Minute)
+	res, err := E5bChannelAgility(context.Background(), 17, 12*time.Minute)
 	if err != nil {
 		t.Fatalf("E5b: %v", err)
 	}
@@ -121,7 +122,7 @@ func TestE5bChannelAgility(t *testing.T) {
 }
 
 func TestE5aIDSLatency(t *testing.T) {
-	res, err := E5aIDSLatencyRun(13, 8*time.Minute)
+	res, err := E5aIDSLatencyRun(context.Background(), 13, 8*time.Minute)
 	if err != nil {
 		t.Fatalf("E5a: %v", err)
 	}
@@ -147,7 +148,7 @@ func TestE6CombinedRisk(t *testing.T) {
 }
 
 func TestE7Assurance(t *testing.T) {
-	res, err := E7Assurance(42, 8*time.Minute)
+	res, err := E7Assurance(context.Background(), 42, 8*time.Minute)
 	if err != nil {
 		t.Fatalf("E7: %v", err)
 	}

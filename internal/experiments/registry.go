@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -23,8 +24,8 @@ func init() {
 		Section:     "Fig. 1",
 		Description: "worksite baseline: productivity and safety, unsecured vs secured",
 		Defaults:    campaign.Params{Duration: 20 * time.Minute},
-		Run: func(p campaign.Params) (campaign.Outcome, error) {
-			res, err := E1WorksiteBaseline(p.Seed, p.Duration)
+		Run: func(ctx context.Context, p campaign.Params) (campaign.Outcome, error) {
+			res, err := E1WorksiteBaseline(ctx, p.Seed, p.Duration)
 			if err != nil {
 				return campaign.Outcome{}, err
 			}
@@ -40,7 +41,7 @@ func init() {
 		Section:     "Fig. 2",
 		Description: "people-detection miss rate vs occlusion, forwarder-only vs with drone",
 		Defaults:    campaign.Params{Trials: 60},
-		Run: func(p campaign.Params) (campaign.Outcome, error) {
+		Run: func(ctx context.Context, p campaign.Params) (campaign.Outcome, error) {
 			res := E2DronePOV(p.Seed, p.Trials)
 			m := make(map[string]float64)
 			var sumFw, sumDrone float64
@@ -64,7 +65,7 @@ func init() {
 		Section:     "Fig. 2 ablation",
 		Description: "fusion confirmation-policy ablation (K = 1..3 hits)",
 		Defaults:    campaign.Params{Trials: 40},
-		Run: func(p campaign.Params) (campaign.Outcome, error) {
+		Run: func(ctx context.Context, p campaign.Params) (campaign.Outcome, error) {
 			res := E2aFusionPolicy(p.Seed, p.Trials)
 			m := make(map[string]float64)
 			for _, pt := range res.Points {
@@ -80,7 +81,7 @@ func init() {
 		Section:         "Table I",
 		Description:     "forestry-specific characteristics with threat/control coverage",
 		SeedIndependent: true,
-		Run: func(p campaign.Params) (campaign.Outcome, error) {
+		Run: func(ctx context.Context, p campaign.Params) (campaign.Outcome, error) {
 			t := E3CharacteristicTable()
 			uc := risk.BuildUseCase()
 			m := map[string]float64{"characteristics": float64(t.Rows())}
@@ -100,7 +101,7 @@ func init() {
 		Section:         "Fig. 3",
 		Description:     "knowledge transfer into the forestry threat profile",
 		SeedIndependent: true,
-		Run: func(p campaign.Params) (campaign.Outcome, error) {
+		Run: func(ctx context.Context, p campaign.Params) (campaign.Outcome, error) {
 			res := E4KnowledgeTransfer()
 			m := map[string]float64{
 				"scenarios/mining":     float64(res.Transfer.ByDomain[risk.DomainMining]),
@@ -118,8 +119,8 @@ func init() {
 		Section:     "III-B / IV-C",
 		Description: "attack x defence matrix over every implemented attack class",
 		Defaults:    campaign.Params{Duration: 10 * time.Minute},
-		Run: func(p campaign.Params) (campaign.Outcome, error) {
-			res, err := E5AttackMatrix(p.Seed, p.Duration)
+		Run: func(ctx context.Context, p campaign.Params) (campaign.Outcome, error) {
+			res, err := E5AttackMatrix(ctx, p.Seed, p.Duration)
 			if err != nil {
 				return campaign.Outcome{}, err
 			}
@@ -147,8 +148,8 @@ func init() {
 		Section:     "IV-C ablation",
 		Description: "IDS detection latency for the de-auth flood",
 		Defaults:    campaign.Params{Duration: 8 * time.Minute},
-		Run: func(p campaign.Params) (campaign.Outcome, error) {
-			res, err := E5aIDSLatencyRun(p.Seed, p.Duration)
+		Run: func(ctx context.Context, p campaign.Params) (campaign.Outcome, error) {
+			res, err := E5aIDSLatencyRun(ctx, p.Seed, p.Duration)
 			if err != nil {
 				return campaign.Outcome{}, err
 			}
@@ -166,8 +167,8 @@ func init() {
 		Section:     "IV-C ablation",
 		Description: "narrowband jamming vs the channel-agility response",
 		Defaults:    campaign.Params{Duration: 10 * time.Minute},
-		Run: func(p campaign.Params) (campaign.Outcome, error) {
-			res, err := E5bChannelAgility(p.Seed, p.Duration)
+		Run: func(ctx context.Context, p campaign.Params) (campaign.Outcome, error) {
+			res, err := E5bChannelAgility(ctx, p.Seed, p.Duration)
 			if err != nil {
 				return campaign.Outcome{}, err
 			}
@@ -191,7 +192,7 @@ func init() {
 		Section:         "IV-D",
 		Description:     "combined TARA + IEC TS 63074 interplay, untreated vs treated",
 		SeedIndependent: true,
-		Run: func(p campaign.Params) (campaign.Outcome, error) {
+		Run: func(ctx context.Context, p campaign.Params) (campaign.Outcome, error) {
 			res, err := E6CombinedRisk()
 			if err != nil {
 				return campaign.Outcome{}, err
@@ -212,8 +213,8 @@ func init() {
 		Section:     "V",
 		Description: "assurance case and CE conformity, secured vs unsecured pathway",
 		Defaults:    campaign.Params{Duration: 10 * time.Minute},
-		Run: func(p campaign.Params) (campaign.Outcome, error) {
-			res, err := E7Assurance(p.Seed, p.Duration)
+		Run: func(ctx context.Context, p campaign.Params) (campaign.Outcome, error) {
+			res, err := E7Assurance(ctx, p.Seed, p.Duration)
 			if err != nil {
 				return campaign.Outcome{}, err
 			}
@@ -234,7 +235,7 @@ func init() {
 		ID:          "e8",
 		Section:     "III-D",
 		Description: "simulation-validity metrics discriminate synthetic sources",
-		Run: func(p campaign.Params) (campaign.Outcome, error) {
+		Run: func(ctx context.Context, p campaign.Params) (campaign.Outcome, error) {
 			res, err := E8SimValidity(p.Seed)
 			if err != nil {
 				return campaign.Outcome{}, err
@@ -257,7 +258,7 @@ func init() {
 		ID:          "e9",
 		Section:     "IV-A/B",
 		Description: "secure-substrate handshake and boot-chain tamper sweep",
-		Run: func(p campaign.Params) (campaign.Outcome, error) {
+		Run: func(ctx context.Context, p campaign.Params) (campaign.Outcome, error) {
 			res, err := E9SecureSubstrate(p.Seed, 0)
 			if err != nil {
 				return campaign.Outcome{}, err
@@ -277,7 +278,7 @@ func init() {
 		ID:          "e9a",
 		Section:     "IV-A ablation",
 		Description: "rekey interval vs record throughput (wall-clock; table only)",
-		Run: func(p campaign.Params) (campaign.Outcome, error) {
+		Run: func(ctx context.Context, p campaign.Params) (campaign.Outcome, error) {
 			t, err := E9aRekeySweep(p.Seed)
 			if err != nil {
 				return campaign.Outcome{}, err
@@ -292,7 +293,7 @@ func init() {
 		Section:     "ISO 21448 §10",
 		Description: "SOTIF unknown-space exploration, forwarder-only vs with drone",
 		Defaults:    campaign.Params{Scenarios: 12, Trials: 25},
-		Run: func(p campaign.Params) (campaign.Outcome, error) {
+		Run: func(ctx context.Context, p campaign.Params) (campaign.Outcome, error) {
 			res := E10SOTIFExploration(p.Seed, p.Scenarios, p.Trials)
 			m := map[string]float64{
 				"unknown_unsafe/forwarder-only": float64(res.Improvement.UnsafeBefore),

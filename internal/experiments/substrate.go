@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -84,14 +85,14 @@ type E7Result struct {
 
 // E7Assurance runs the full pathway under both profiles and compares the
 // resulting assurance cases and conformity verdicts.
-func E7Assurance(seed int64, evidenceRun time.Duration) (E7Result, error) {
-	sec, err := core.RunPathway(core.PathwayOptions{
+func E7Assurance(ctx context.Context, seed int64, evidenceRun time.Duration) (E7Result, error) {
+	sec, err := core.RunPathway(ctx, core.PathwayOptions{
 		Seed: seed, Secured: true, EvidenceRun: evidenceRun, SOTIFTrials: 40,
 	})
 	if err != nil {
 		return E7Result{}, fmt.Errorf("e7 secured: %w", err)
 	}
-	uns, err := core.RunPathway(core.PathwayOptions{
+	uns, err := core.RunPathway(ctx, core.PathwayOptions{
 		Seed: seed, Secured: false, EvidenceRun: evidenceRun, SOTIFTrials: 40,
 	})
 	if err != nil {

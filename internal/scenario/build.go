@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,7 +15,8 @@ import (
 // on the site's scheduler, and wired into the session's event stream, so a
 // subscriber sees AttackPhase events interleaved with the per-tick
 // snapshots. The session's horizon is d: callers either close the loop with
-// sess.Run(d) / RunFor(d), or drive it tick by tick with Step / RunUntil.
+// sess.Run(ctx, d) / RunFor(ctx, d), or drive it tick by tick with Step /
+// RunUntil.
 // The returned campaign exposes the window and phase logs for reports.
 func Build(spec Spec, seed int64, d time.Duration) (*worksite.Session, *attack.Campaign, error) {
 	if d <= 0 {
@@ -56,13 +58,16 @@ func Build(spec Spec, seed int64, d time.Duration) (*worksite.Session, *attack.C
 	return sess, c, nil
 }
 
-// Run builds the spec and executes it for d of simulated time.
-func Run(spec Spec, seed int64, d time.Duration) (worksite.Report, error) {
+// Run builds the spec and executes it for d of simulated time. The context
+// bounds wall-clock execution (see worksite.Session.RunFor): a cancelled or
+// expired context ends the run between ticks with ctx.Err(), and a context
+// that never fires leaves the result byte-identical to an uncancellable run.
+func Run(ctx context.Context, spec Spec, seed int64, d time.Duration) (worksite.Report, error) {
 	sess, _, err := Build(spec, seed, d)
 	if err != nil {
 		return worksite.Report{}, err
 	}
-	rep, err := sess.Run(d)
+	rep, err := sess.Run(ctx, d)
 	if err != nil {
 		return worksite.Report{}, fmt.Errorf("scenario %q: %w", spec.Name, err)
 	}

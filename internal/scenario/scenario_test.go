@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"reflect"
 	"sort"
@@ -119,7 +120,7 @@ func TestBuildDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func() []byte {
-		rep, err := Run(spec.WithProfile(worksite.Secured()), 42, 8*time.Minute)
+		rep, err := Run(context.Background(), spec.WithProfile(worksite.Secured()), 42, 8*time.Minute)
 		if err != nil {
 			t.Fatalf("Run: %v", err)
 		}
@@ -139,11 +140,11 @@ func TestBuildDeterminism(t *testing.T) {
 // or the sweep's seed axis measures nothing.
 func TestRunSeedSensitivity(t *testing.T) {
 	spec := Baseline()
-	one, err := Run(spec, 1, 8*time.Minute)
+	one, err := Run(context.Background(), spec, 1, 8*time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
-	two, err := Run(spec, 2, 8*time.Minute)
+	two, err := Run(context.Background(), spec, 2, 8*time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package worksite
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -92,7 +93,7 @@ func (s *Site) commissionControl() {
 // session (or use NewSession) for stepping, observers and early stop.
 func (s *Site) Run(d time.Duration) (Report, error) {
 	se := &Session{site: s}
-	return se.Run(d)
+	return se.Run(context.Background(), d)
 }
 
 func (s *Site) report(d time.Duration) Report {

@@ -1,6 +1,7 @@
 package worksite
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -110,7 +111,16 @@ func (se *Session) advanceTo(target time.Duration) error {
 // RunFor advances the simulation by d of virtual time (clamped to the
 // horizon when one is set), firing all scheduled events and observer
 // notifications on the way.
-func (se *Session) RunFor(d time.Duration) error {
+//
+// The context bounds wall-clock execution: between control ticks the session
+// checks ctx and returns ctx.Err() as soon as it is cancelled or past its
+// deadline, leaving the session stopped at the last completed tick (still
+// steppable, reportable over the time actually advanced). A context that
+// never fires — including context.Background() — yields byte-identical
+// results to an uncancellable run: cancellation is observed only between
+// ticks, never inside one, so the event stream up to the stopping point is
+// the same either way.
+func (se *Session) RunFor(ctx context.Context, d time.Duration) error {
 	if d < 0 {
 		return fmt.Errorf("worksite session: negative duration %v", d)
 	}
@@ -121,23 +131,53 @@ func (se *Session) RunFor(d time.Duration) error {
 	if target <= se.elapsed {
 		return nil
 	}
-	return se.advanceTo(target)
+	if ctx == nil || ctx.Done() == nil {
+		// Nothing can ever cancel this context: advance in one stride,
+		// exactly the pre-context execution path.
+		return se.advanceTo(target)
+	}
+	for se.elapsed < target {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		next := se.site.firstTickAt + time.Duration(se.site.tickNo)*se.site.cfg.TickPeriod
+		if next <= se.elapsed {
+			next = se.elapsed + se.site.cfg.TickPeriod
+		}
+		if next > target {
+			next = target
+		}
+		if err := se.advanceTo(next); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RunUntil steps tick by tick until stop returns true for a snapshot, the
-// horizon is reached, or the scheduler stops. It reports whether the
-// predicate fired — the campaign layer's early-stop primitive. A horizon is
-// required (the control loop reschedules forever, so a predicate that
-// never fires would otherwise spin unboundedly); a nil predicate runs
-// straight to the horizon.
-func (se *Session) RunUntil(stop func(Tick) bool) (bool, error) {
+// horizon is reached, the context fires, or the scheduler stops. It reports
+// whether the predicate fired — the campaign layer's early-stop primitive. A
+// horizon is required (the control loop reschedules forever, so a predicate
+// that never fires would otherwise spin unboundedly); a nil predicate runs
+// straight to the horizon. Like RunFor, cancellation is observed between
+// ticks and surfaces as ctx.Err().
+func (se *Session) RunUntil(ctx context.Context, stop func(Tick) bool) (bool, error) {
 	if se.horizon <= 0 {
 		return false, fmt.Errorf("worksite session: RunUntil requires a horizon (SetHorizon)")
 	}
-	if stop == nil {
-		return false, se.RunFor(se.horizon - se.elapsed)
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	if stop == nil {
+		return false, se.RunFor(ctx, se.horizon-se.elapsed)
+	}
+	cancellable := ctx.Done() != nil
 	for {
+		if cancellable {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+		}
 		tick, ok := se.Step()
 		if !ok {
 			return false, se.err
@@ -153,9 +193,9 @@ func (se *Session) RunUntil(stop func(Tick) bool) (bool, error) {
 // longer window.
 func (se *Session) Report() Report { return se.site.report(se.elapsed) }
 
-// Run is the convenience closed loop: RunFor(d) then Report.
-func (se *Session) Run(d time.Duration) (Report, error) {
-	if err := se.RunFor(d); err != nil {
+// Run is the convenience closed loop: RunFor(ctx, d) then Report.
+func (se *Session) Run(ctx context.Context, d time.Duration) (Report, error) {
+	if err := se.RunFor(ctx, d); err != nil {
 		return Report{}, err
 	}
 	return se.Report(), nil

@@ -1,6 +1,7 @@
 package worksite
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"testing"
@@ -50,7 +51,7 @@ func TestSessionReportMatchesLegacyRun(t *testing.T) {
 		Safety:           func(SafetyEvent) { events++ },
 	})
 	armSpoof(sess.Site(), func(e attack.PhaseEvent) { sess.EmitAttackPhase(e.At, e.Attack, e.Active) })
-	sessRep, err := sess.Run(d)
+	sessRep, err := sess.Run(context.Background(), d)
 	if err != nil {
 		t.Fatalf("session Run: %v", err)
 	}
@@ -82,7 +83,7 @@ func TestSessionStepEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	bulk.SetHorizon(d)
-	if err := bulk.RunFor(d); err != nil {
+	if err := bulk.RunFor(context.Background(), d); err != nil {
 		t.Fatal(err)
 	}
 
@@ -160,7 +161,7 @@ func TestSessionObserverEventStream(t *testing.T) {
 		time.Second))
 	c.Schedule(sess.Site().Scheduler())
 
-	rep, err := sess.Run(d)
+	rep, err := sess.Run(context.Background(), d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestSessionStepAfterRunFor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sess.RunFor(45*time.Second + 123*time.Millisecond); err != nil {
+	if err := sess.RunFor(context.Background(), 45*time.Second+123*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	tick, ok := sess.Step()
@@ -238,7 +239,7 @@ func TestSessionRunUntil(t *testing.T) {
 	}
 	sess.SetHorizon(d)
 	stopAt := 90 * time.Second
-	stopped, err := sess.RunUntil(func(tk Tick) bool { return tk.At >= stopAt })
+	stopped, err := sess.RunUntil(context.Background(), func(tk Tick) bool { return tk.At >= stopAt })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +259,7 @@ func TestSessionRunUntil(t *testing.T) {
 		t.Fatal(err)
 	}
 	rest.SetHorizon(2 * time.Minute)
-	stopped, err = rest.RunUntil(func(Tick) bool { return false })
+	stopped, err = rest.RunUntil(context.Background(), func(Tick) bool { return false })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestSessionFailSafeEvents(t *testing.T) {
 		}
 	}})
 	armSpoof(sess.Site(), nil)
-	if _, err := sess.Run(10 * time.Minute); err != nil {
+	if _, err := sess.Run(context.Background(), 10*time.Minute); err != nil {
 		t.Fatal(err)
 	}
 	if engaged == 0 {
@@ -322,7 +323,7 @@ func TestEarlyReportDoesNotCorruptMetrics(t *testing.T) {
 	if early := sess.Report(); early.Metrics.MinWorkerDistM != -1 {
 		t.Fatalf("pre-tick MinWorkerDistM = %v, want -1 sentinel", early.Metrics.MinWorkerDistM)
 	}
-	rep, err := sess.Run(4 * time.Minute)
+	rep, err := sess.Run(context.Background(), 4*time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,52 @@
+package worksim_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestFacadeBoundary is the internal-import lint: every binary under cmd/
+// and every example under examples/ must reach the engine exclusively
+// through the public worksim façade. A direct repro/internal/... import
+// would silently erode the API boundary this package exists to hold, so the
+// test fails naming the offending file and import.
+func TestFacadeBoundary(t *testing.T) {
+	for _, dir := range []string{"../cmd", "../examples"} {
+		checked := 0
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			checked++
+			f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				ipath, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					return err
+				}
+				facade := ipath == "repro/worksim" || strings.HasPrefix(ipath, "repro/worksim/")
+				if strings.HasPrefix(ipath, "repro/") && !facade {
+					t.Errorf("%s imports %s: cmd/ and examples/ must import only repro/worksim... packages", path, ipath)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walk %s: %v", dir, err)
+		}
+		if checked == 0 {
+			t.Fatalf("walk %s: no Go files found (moved? the lint silently passing would be worse)", dir)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package worksim_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/worksim"
+	"repro/worksim/event"
+)
+
+// TestRunForCancelMidRun cancels the context from an observer during the
+// run: RunFor must stop before the next control tick executes and return
+// context.Canceled, leaving the session intact at the last completed tick.
+func TestRunForCancelMidRun(t *testing.T) {
+	const cancelAt = time.Minute
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	sess, err := worksim.Open(worksim.Baseline(),
+		worksim.WithHorizon(10*time.Minute),
+		worksim.WithObserver(&event.ObserverFuncs{Tick: func(tk event.TickSnapshot) {
+			if tk.At >= cancelAt {
+				cancel()
+			}
+		}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sess.RunFor(ctx, 10*time.Minute)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunFor under mid-run cancel: err = %v, want context.Canceled", err)
+	}
+	// The cancelling tick completes; nothing after it may run. One tick of
+	// slack covers the tick that invoked the observer.
+	tick := worksim.Baseline().Timing.TickPeriod
+	if now := sess.Now(); now < cancelAt || now > cancelAt+tick {
+		t.Fatalf("session stopped at %v, want within one tick (%v) of %v", now, tick, cancelAt)
+	}
+	if sess.Err() != nil {
+		t.Fatalf("cancellation must not latch a simulation error, got %v", sess.Err())
+	}
+
+	// The session stays usable: a fresh context resumes to the horizon.
+	rep, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatalf("resume after cancel: %v", err)
+	}
+	if rep.Duration != 10*time.Minute {
+		t.Fatalf("resumed report covers %v, want the full 10m horizon", rep.Duration)
+	}
+}
+
+// TestRunForPreCancelled: a context that is already dead advances nothing.
+func TestRunForPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sess, err := worksim.Open(worksim.Baseline(), worksim.WithHorizon(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RunFor(ctx, time.Minute); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sess.Now() != 0 {
+		t.Fatalf("pre-cancelled RunFor advanced time to %v", sess.Now())
+	}
+}
+
+// TestRunUntilCancelled: RunUntil surfaces ctx.Err() too.
+func TestRunUntilCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sess, err := worksim.Open(worksim.Baseline(), worksim.WithHorizon(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired, err := sess.RunUntil(ctx, func(event.Tick) bool { return false })
+	if fired || !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunUntil = (%v, %v), want (false, context.Canceled)", fired, err)
+	}
+}
+
+// TestNeverFiredContextByteIdentical locks the determinism contract of the
+// redesign: a cancellable context that never fires must produce a report
+// byte-identical to context.Background() — the cancellable path advances
+// tick by tick, the background path in one stride, and the two must be the
+// same simulation.
+func TestNeverFiredContextByteIdentical(t *testing.T) {
+	spec, err := worksim.Lookup("multi-attack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(ctx context.Context) []byte {
+		sess, err := worksim.Open(spec,
+			worksim.WithSeed(7),
+			worksim.WithHorizon(6*time.Minute),
+			worksim.WithProfile(worksim.Secured()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sess.Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	plain := run(context.Background())
+	armed := run(ctx)
+	if string(plain) != string(armed) {
+		t.Fatalf("report under a never-fired cancellable context differs from context.Background()\nbackground: %s\ncancellable: %s", plain, armed)
+	}
+}
+
+// TestSweepCancelDrainsWorkers cancels a sweep that could never finish in
+// the allotted time and verifies (a) the cancellation error surfaces and
+// (b) the worker pool drains — no goroutine outlives the call. Run under
+// -race (CI does) this also exercises the pool's cancellation paths for
+// data races.
+func TestSweepCancelDrainsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(50*time.Millisecond, cancel)
+	_, err := worksim.Sweep(ctx, worksim.SweepOptions{
+		Scenarios: []string{"all"},
+		Seeds:     worksim.SeedRange{Base: 1, Count: 8},
+		Parallel:  4,
+		Duration:  4 * time.Hour, // far beyond what 50ms of wall clock can simulate
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+
+	// The pool must have drained: give lingering goroutines (if the drain
+	// were broken) a grace window to show up as a stable leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not drain after cancelled sweep: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestSweepNeverFiredContextByteIdentical: the sweep JSON export is
+// byte-identical between context.Background() and a cancellable context
+// that never fires.
+func TestSweepNeverFiredContextByteIdentical(t *testing.T) {
+	opts := worksim.SweepOptions{
+		Scenarios: []string{"baseline", "gnss-spoof"},
+		Profiles:  []string{"secured"},
+		Seeds:     worksim.SeedRange{Base: 1, Count: 2},
+		Parallel:  2,
+		Duration:  2 * time.Minute,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	plain, err := worksim.Sweep(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed, err := worksim.Sweep(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := plain.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := armed.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pj) != string(aj) {
+		t.Fatal("sweep JSON under a never-fired cancellable context differs from context.Background()")
+	}
+}

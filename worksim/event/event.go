@@ -1,0 +1,69 @@
+// Package event is the public typed event stream of a worksim session: the
+// per-tick snapshot plus the discrete incidents a run publishes (IDS alerts,
+// attack phase transitions, security responses, operating-mode changes,
+// mission transitions, safety events), and the Observer interface that
+// receives them.
+//
+// Observers are passive taps on the simulation loop: they run synchronously
+// inside it and must not mutate the site, so a run is byte-identical with
+// and without subscribers. Use ObserverFuncs to implement a subset of the
+// interface.
+//
+// Every type here is a stable alias of the engine's own event type, so a
+// value received from a session can be stored, marshalled (each event
+// carries stable JSON field names and an EventKind tag) or compared without
+// conversion.
+package event
+
+import "repro/internal/worksite"
+
+// Event is the common interface of everything a session publishes.
+type Event = worksite.Event
+
+// TickSnapshot is the per-control-tick state of the worksite; Tick is the
+// same record under the name Session.Step returns.
+type (
+	TickSnapshot = worksite.TickSnapshot
+	Tick         = worksite.Tick
+)
+
+// Discrete events.
+type (
+	// AlertRaised is published for every IDS alert, as it fires.
+	AlertRaised = worksite.AlertRaised
+	// AttackPhase is published when a scheduled attack window begins or ends.
+	AttackPhase = worksite.AttackPhase
+	// SecurityResponse is published when the site actively responds to an
+	// attack (mode escalation, channel hop).
+	SecurityResponse = worksite.SecurityResponse
+	// ModeChange is published on every operating-mode transition.
+	ModeChange = worksite.ModeChange
+	// MissionPhase is published on every haul-cycle phase transition.
+	MissionPhase = worksite.MissionPhase
+	// SafetyEvent is published on safety-relevant transitions: unsafe-episode
+	// boundaries, collision ticks, fail-safe latch changes.
+	SafetyEvent = worksite.SafetyEvent
+)
+
+// Observer receives the typed event stream of a session; ObserverFuncs
+// adapts a set of optional callbacks into one (nil fields ignore their event
+// type).
+type (
+	Observer      = worksite.Observer
+	ObserverFuncs = worksite.ObserverFuncs
+)
+
+// Security-response kinds (SecurityResponse.Kind).
+const (
+	ResponseModeEscalation = worksite.ResponseModeEscalation
+	ResponseChannelHop     = worksite.ResponseChannelHop
+)
+
+// Safety-event kinds (SafetyEvent.Kind).
+const (
+	SafetyUnsafeEnter      = worksite.SafetyUnsafeEnter
+	SafetyUnsafeExit       = worksite.SafetyUnsafeExit
+	SafetyCollision        = worksite.SafetyCollision
+	SafetyFailSafeEngaged  = worksite.SafetyFailSafeEngaged
+	SafetyFailSafeReleased = worksite.SafetyFailSafeReleased
+)

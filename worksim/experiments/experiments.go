@@ -1,0 +1,114 @@
+// Package experiments is the public surface of the paper's experiment
+// registry and Monte-Carlo campaign engine: every reproduced table/figure is
+// a registered experiment with a stable ID (e1, e2, ... e10 plus ablations),
+// and Run fans any of them out over a seed range with a bounded,
+// cancellable worker pool and per-metric mean / stddev / 95%-CI
+// aggregation.
+//
+// Importing this package populates the registry (the internal experiment
+// definitions register themselves), so consumers never need a blank import
+// of an internal package to discover experiments.
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/campaign"
+	iexp "repro/internal/experiments"
+	"repro/worksim/report"
+)
+
+// Campaign machinery, re-exported from the engine.
+type (
+	// Experiment is a registered, discoverable experiment.
+	Experiment = campaign.Experiment
+	// Params parameterises a single experiment run.
+	Params = campaign.Params
+	// Options configures a campaign over one experiment.
+	Options = campaign.Options
+	// Outcome is what one run at one seed produces.
+	Outcome = campaign.Outcome
+	// Result is one experiment campaigned over a seed range.
+	Result = campaign.Result
+	// SeedRun is the per-seed record of a campaign.
+	SeedRun = campaign.SeedRun
+	// Aggregate summarises one metric across all seeds.
+	Aggregate = campaign.Aggregate
+	// SeedRange is the seed convention: Count consecutive seeds from Base.
+	SeedRange = campaign.SeedRange
+	// Registry holds registered experiments in registration order.
+	Registry = campaign.Registry
+)
+
+// Default is the process-wide registry, populated at init time with every
+// reproduced experiment.
+var Default = campaign.Default
+
+// Run fans exp out over the seed range with a bounded worker pool and
+// aggregates the per-seed metrics; output is independent of
+// Options.Parallel. The context cancels the campaign: workers stop claiming
+// seeds, in-flight simulation-backed runs stop between control ticks, and
+// Run returns ctx.Err() once the pool has drained.
+func Run(ctx context.Context, exp Experiment, opts Options) (*Result, error) {
+	return campaign.Run(ctx, exp, opts)
+}
+
+// RunAll campaigns each experiment in turn over the same seed range.
+func RunAll(ctx context.Context, exps []Experiment, opts Options) ([]*Result, error) {
+	return campaign.RunAll(ctx, exps, opts)
+}
+
+// Named experiment runners, for consumers that want one result object
+// rather than a campaign. Result types carry the rendered paper artifact
+// (tables/figures) plus structured rows.
+type (
+	E1Result  = iexp.E1Result
+	E2Result  = iexp.E2Result
+	E2aResult = iexp.E2aResult
+	E4Result  = iexp.E4Result
+	E5Result  = iexp.E5Result
+	E5aResult = iexp.E5aResult
+	E5bResult = iexp.E5bResult
+	E6Result  = iexp.E6Result
+)
+
+// E1WorksiteBaseline runs the clean baseline scenario under both profiles.
+func E1WorksiteBaseline(ctx context.Context, seed int64, d time.Duration) (E1Result, error) {
+	return iexp.E1WorksiteBaseline(ctx, seed, d)
+}
+
+// E2DronePOV sweeps occlusion density and measures people-detection miss
+// rates with and without the drone's additional point of view (Fig. 2).
+func E2DronePOV(seed int64, trials int) E2Result { return iexp.E2DronePOV(seed, trials) }
+
+// E2aFusionPolicy is the fusion confirmation-policy ablation.
+func E2aFusionPolicy(seed int64, trials int) E2aResult { return iexp.E2aFusionPolicy(seed, trials) }
+
+// E3CharacteristicTable regenerates the paper's Table I from the risk
+// catalog with model coverage.
+func E3CharacteristicTable() *report.Table { return iexp.E3CharacteristicTable() }
+
+// E4KnowledgeTransfer evaluates the Fig. 3 knowledge-transfer claim.
+func E4KnowledgeTransfer() E4Result { return iexp.E4KnowledgeTransfer() }
+
+// E5AttackMatrix runs every registered attack class against both profiles
+// under identical seeds (Sections III-B / IV-C).
+func E5AttackMatrix(ctx context.Context, seed int64, d time.Duration) (E5Result, error) {
+	return iexp.E5AttackMatrix(ctx, seed, d)
+}
+
+// E5aIDSLatencyRun measures IDS detection latency for the de-auth flood.
+func E5aIDSLatencyRun(ctx context.Context, seed int64, d time.Duration) (E5aResult, error) {
+	return iexp.E5aIDSLatencyRun(ctx, seed, d)
+}
+
+// E5bChannelAgility is the availability ablation: narrowband jamming with
+// and without the channel-agility response.
+func E5bChannelAgility(ctx context.Context, seed int64, d time.Duration) (E5bResult, error) {
+	return iexp.E5bChannelAgility(ctx, seed, d)
+}
+
+// E6CombinedRisk runs the combined TARA + IEC TS 63074 interplay assessment,
+// untreated vs treated (Section IV-D).
+func E6CombinedRisk() (E6Result, error) { return iexp.E6CombinedRisk() }

@@ -1,0 +1,60 @@
+package worksim_test
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/worksim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestSweepJSONGolden locks the public sweep JSON export — field names,
+// order and number formatting — against testdata/sweep.golden.json. The
+// export is the façade's machine-readable contract with downstream
+// consumers, so any refactor that changes it must do so deliberately:
+// regenerate with
+//
+//	go test ./worksim -run TestSweepJSONGolden -update
+//
+// and justify the diff in review.
+func TestSweepJSONGolden(t *testing.T) {
+	res, err := worksim.Sweep(context.Background(), worksim.SweepOptions{
+		Scenarios:   []string{"baseline", "gnss-spoof"},
+		Profiles:    []string{"unsecured", "secured"},
+		Seeds:       worksim.SeedRange{Base: 1, Count: 2},
+		Parallel:    2,
+		Duration:    2 * time.Minute,
+		SampleEvery: time.Minute, // timeseries fields are part of the schema
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "sweep.golden.json")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create it)", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("sweep JSON drifted from %s (%d vs %d bytes).\n"+
+			"If the change to the public schema is intentional, regenerate with -update and call it out in review.\ngot:\n%s",
+			path, len(got), len(want), got)
+	}
+}

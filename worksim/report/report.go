@@ -1,0 +1,26 @@
+// Package report re-exports the rendering primitives every worksim artifact
+// uses: padded ASCII tables with CSV export and ASCII line figures. Consumers
+// that print campaign, sweep or experiment output build their own tables
+// with the same machinery, so façade output and consumer output align.
+package report
+
+import "repro/internal/report"
+
+// Table is a padded ASCII table with deterministic float formatting and CSV
+// export; Figure is a multi-series ASCII line plot; Series is one named
+// series of a figure.
+type (
+	Table  = report.Table
+	Figure = report.Figure
+	Series = report.Series
+)
+
+// NewTable creates a titled table with the given column headers.
+func NewTable(title string, headers ...string) *Table { return report.NewTable(title, headers...) }
+
+// NewFigure creates a titled figure with the given x-axis label.
+func NewFigure(title, xLabel string) *Figure { return report.NewFigure(title, xLabel) }
+
+// FormatFloat renders a float the way tables and CSV exports do (handles
+// NaN, ±Inf and very large magnitudes deterministically).
+func FormatFloat(v float64) string { return report.FormatFloat(v) }

@@ -1,0 +1,56 @@
+// Package scenariospec is the public declarative scenario model: a Spec is a
+// JSON-serializable description of one worksite operational situation — site
+// geometry, weather, workers, drone, fusion policy, security profile, and an
+// attack schedule expressed as {name, startFrac, stopFrac, params} data.
+//
+// Specs are pure data; worksim.Open compiles one into a runnable session and
+// worksim.Sweep fans catalog specs over profiles and seeds. The attack
+// classes a spec may schedule come from the engine's arming registry
+// (AttackNames), so a spec file can never name an attack the simulator does
+// not implement.
+package scenariospec
+
+import (
+	"repro/internal/scenario"
+	"repro/internal/sensors"
+)
+
+// Spec is a complete declarative scenario. The zero value is not runnable;
+// start from Baseline() (or a worksim catalog entry) and override fields.
+type Spec = scenario.Spec
+
+// Component specs of a scenario.
+type (
+	// SiteSpec is the terrain: grid geometry and forest composition.
+	SiteSpec = scenario.SiteSpec
+	// TimingSpec is the mission timing (load/unload dwell, tick period).
+	TimingSpec = scenario.TimingSpec
+	// AttackSpec schedules one attack class as data, with its active window
+	// expressed as fractions of the run duration.
+	AttackSpec = scenario.AttackSpec
+	// Params carries attack-class tuning knobs; unknown keys are ignored and
+	// missing keys fall back to class defaults.
+	Params = scenario.Params
+	// Weather holds the environmental conditions for the whole run.
+	Weather = sensors.Weather
+)
+
+// Baseline returns the clean E1 baseline scenario: a 400x400 m site,
+// moderate forest, three workers, clear weather, drone on, no defences, no
+// attacks.
+func Baseline() Spec { return scenario.Baseline() }
+
+// Parse decodes a JSON spec on top of the baseline, so partial documents
+// only state what they change from the E1 scenario.
+func Parse(data []byte) (Spec, error) { return scenario.Parse(data) }
+
+// LoadFile reads and parses a JSON spec file (see Parse).
+func LoadFile(path string) (Spec, error) { return scenario.LoadFile(path) }
+
+// AttackNames lists the registered attack classes a spec may schedule,
+// sorted.
+func AttackNames() []string { return scenario.AttackNames() }
+
+// AttackDescription returns the one-line description of a registered attack
+// class ("" for unknown names).
+func AttackDescription(name string) string { return scenario.AttackDescription(name) }

@@ -1,0 +1,53 @@
+package worksim
+
+import (
+	"context"
+
+	"repro/internal/campaign"
+	"repro/worksim/event"
+)
+
+// Sweep configuration and result types, re-exported from the campaign
+// engine. SweepResult.JSON is the public machine-readable export — its
+// schema (field names and order) is locked by a golden-file test.
+type (
+	// SweepOptions configures a scenario sweep: catalog scenarios × security
+	// profiles × seeds, with optional per-seed timeseries sampling and
+	// early-stop predicates.
+	SweepOptions = campaign.SweepOptions
+	// SweepResult is the outcome of a full sweep, cells ordered
+	// scenario-major in the requested order.
+	SweepResult = campaign.SweepResult
+	// SweepCell is one (scenario, profile) cell with its per-seed runs and
+	// aggregates.
+	SweepCell = campaign.SweepCell
+	// SeedRange is the seed convention: Count consecutive seeds from Base.
+	SeedRange = campaign.SeedRange
+	// TimePoint is one downsampled sample of a run's per-tick timeseries.
+	TimePoint = campaign.TimePoint
+)
+
+// DefaultSweepDuration is the per-run simulated duration when
+// SweepOptions.Duration is zero.
+const DefaultSweepDuration = campaign.DefaultSweepDuration
+
+// Sweep fans the scenario × profile × seed cross-product out over a bounded
+// worker pool and aggregates per-seed metrics into mean / stddev / 95%-CI
+// summaries. For a fixed seed set the result (and its JSON export) is
+// byte-identical regardless of SweepOptions.Parallel.
+//
+// The context cancels the sweep end to end: workers stop claiming seeds,
+// in-flight simulation runs stop between control ticks, and Sweep returns
+// ctx.Err() once the pool has drained — no goroutines outlive the call. A
+// context that never fires yields byte-identical output to
+// context.Background().
+func Sweep(ctx context.Context, opts SweepOptions) (*SweepResult, error) {
+	return campaign.Sweep(ctx, opts)
+}
+
+// EarlyStopByName resolves a named early-stop predicate (collision, unsafe,
+// safe-stop, first-alert) — the CLI surface of SweepOptions.EarlyStop. The
+// empty name resolves to nil (no early stop).
+func EarlyStopByName(name string) (func(event.TickSnapshot) bool, error) {
+	return campaign.EarlyStopByName(name)
+}
