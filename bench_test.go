@@ -27,6 +27,7 @@ import (
 	"repro/internal/secureboot"
 	"repro/internal/sotif"
 	"repro/internal/worksite"
+	"repro/worksim/bench"
 )
 
 const benchSeed = 42
@@ -155,6 +156,15 @@ func BenchmarkE10_SOTIFExploration(b *testing.B) {
 // (wall-clock table; no campaign metrics).
 func BenchmarkE9a_RekeySweep(b *testing.B) {
 	benchExperiment(b, "e9a")
+}
+
+// BenchmarkSim runs the tracked benchmark catalog (worksim/bench) — the same
+// named micro/macro benchmarks cmd/bench persists to BENCH_<date>.json, so CI
+// exercises exactly what the perf-tracking tool records.
+func BenchmarkSim(b *testing.B) {
+	for _, bm := range bench.Catalog() {
+		b.Run(bm.Name, bm.Fn)
+	}
 }
 
 // --- campaign fan-out benchmarks ---

@@ -1,0 +1,83 @@
+// Command bench runs the tracked benchmark catalog of the simulator and
+// persists the results as BENCH_<date>.json, so the performance trajectory of
+// the hot path is recorded in-repo and diffable PR over PR.
+//
+// Usage:
+//
+//	bench                          # run everything, write BENCH_<date>.json
+//	bench -filter tick             # run only the tick micro-benchmarks
+//	bench -label baseline          # write BENCH_<date>.baseline.json
+//	bench -out results.json        # explicit output path
+//	bench -against BENCH_old.json  # also print per-benchmark deltas
+//	bench -list                    # list the catalog, then exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"repro/worksim"
+	"repro/worksim/bench"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "", "output path (default BENCH_<date>.json, with -label appended)")
+		label   = flag.String("label", "", "label recorded in the file and appended to the default filename")
+		filter  = flag.String("filter", "", "regexp selecting which catalog benchmarks to run (default all)")
+		against = flag.String("against", "", "older BENCH_*.json to diff the new results against")
+		list    = flag.Bool("list", false, "list the benchmark catalog, then exit")
+		version = flag.Bool("version", false, "print the worksim version, then exit")
+	)
+	flag.Parse()
+
+	if *version {
+		fmt.Println(worksim.Version)
+		return
+	}
+	if *list {
+		for _, bm := range bench.Catalog() {
+			fmt.Printf("%-16s %s\n", bm.Name, bm.Doc)
+		}
+		return
+	}
+
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		re, err = regexp.Compile(*filter)
+		if err != nil {
+			fatalf("bad -filter: %v", err)
+		}
+	}
+
+	entries := bench.Run(re, func(line string) { fmt.Println(line) })
+	if len(entries) == 0 {
+		fatalf("no catalog benchmark matches -filter %q", *filter)
+	}
+	f := bench.NewFile(*label, entries)
+
+	path := *out
+	if path == "" {
+		path = bench.DefaultPath(*label)
+	}
+	if err := f.Write(path); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(entries))
+
+	if *against != "" {
+		old, err := bench.Load(*against)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("\ndelta vs %s:\n%s", *against, bench.RenderDeltas(bench.Compare(old, f)))
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+	os.Exit(1)
+}

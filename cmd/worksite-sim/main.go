@@ -234,10 +234,14 @@ func printReport(rep worksim.Report, spec worksim.Scenario) {
 
 	if len(rep.Alerts) > 0 {
 		at := report.NewTable("IDS alerts", "type", "count")
-		for k, v := range rep.Alerts {
-			at.AddRow(k, v)
-		}
+		report.AddCountRows(at, rep.Alerts)
 		fmt.Println()
 		fmt.Print(at.Render())
+	}
+	if len(rep.Radio) > 0 {
+		rt := report.NewTable("Radio drops", "cause", "count")
+		report.AddCountRows(rt, rep.Radio)
+		fmt.Println()
+		fmt.Print(rt.Render())
 	}
 }

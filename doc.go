@@ -26,6 +26,16 @@
 //     the Monte-Carlo campaign engine with statistical aggregation.
 //   - worksim/report — the table/figure rendering primitives all artifacts
 //     share.
+//   - worksim/bench — the tracked benchmark harness: a named catalog of
+//     micro/macro benchmarks (single tick, full E1 run, 32-seed sweep) that
+//     cmd/bench persists as BENCH_<date>.json so the hot path's performance
+//     trajectory is diffable PR over PR.
+//
+// Performance: the per-tick control loop is allocation-free in steady state
+// (scratch buffers, pooled tracks/frames/events, a reused wire codec),
+// locked at 0 allocs/op by TestTickLoopZeroAllocs. See the README's
+// "Performance" section for the recorded numbers and how to regenerate
+// them.
 //
 // Execution is context-aware end to end: Session.RunFor/RunUntil/Run and
 // the campaign worker pool observe cancellation between control ticks and

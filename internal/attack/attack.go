@@ -282,7 +282,9 @@ func (r *Recorder) Tap(p radio.Packet, _ radio.NodeID, _ float64, cause radio.Dr
 	if cause != radio.DropNone {
 		return
 	}
-	f, ok := p.Payload.(netsim.Frame)
+	// SnapshotFrame deep-copies the payload: in-flight frames are pooled and
+	// recycled after delivery, while captures must stay intact until replay.
+	f, ok := netsim.SnapshotFrame(p)
 	if !ok || f.Kind != netsim.FrameData {
 		return
 	}

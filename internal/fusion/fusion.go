@@ -103,6 +103,13 @@ type Tracker struct {
 	confirmedTotal int
 	falseAlarms    int
 	sumConfirmLat  time.Duration
+
+	// free recycles expired Track objects (and their per-sensor/per-target
+	// maps) so steady-state tracking does not allocate. Recycled tracks are
+	// reused by the next Update; callers must not retain expired tracks.
+	free []*Track
+	// newly is the reused backing array of Update's return value.
+	newly []*Track
 }
 
 // NewTracker creates a tracker with the given options.
@@ -111,19 +118,17 @@ func NewTracker(opts Options) *Tracker {
 }
 
 // Update ingests one scan's detections at virtual time now and returns the
-// tracks confirmed by this update.
+// tracks confirmed by this update. The returned slice is a scratch buffer
+// owned by the tracker, valid until the next Update.
 func (t *Tracker) Update(now time.Duration, dets []sensors.Detection) []*Track {
-	var newlyConfirmed []*Track
+	newlyConfirmed := t.newly[:0]
 	for _, d := range dets {
 		tr := t.associate(d.Pos)
 		if tr == nil {
-			tr = &Track{
-				ID:          t.nextID,
-				Pos:         d.Pos,
-				FirstSeen:   now,
-				SensorHits:  make(map[string]int),
-				targetVotes: make(map[string]int),
-			}
+			tr = t.newTrack()
+			tr.ID = t.nextID
+			tr.Pos = d.Pos
+			tr.FirstSeen = now
 			t.nextID++
 			t.tracks = append(t.tracks, tr)
 		}
@@ -146,7 +151,26 @@ func (t *Tracker) Update(now time.Duration, dets []sensors.Detection) []*Track {
 		}
 	}
 	t.expire(now)
+	t.newly = newlyConfirmed
 	return newlyConfirmed
+}
+
+// newTrack returns a zeroed track, recycling an expired one when available.
+func (t *Tracker) newTrack() *Track {
+	if n := len(t.free); n > 0 {
+		tr := t.free[n-1]
+		t.free[n-1] = nil
+		t.free = t.free[:n-1]
+		sh, tv := tr.SensorHits, tr.targetVotes
+		clear(sh)
+		clear(tv)
+		*tr = Track{SensorHits: sh, targetVotes: tv}
+		return tr
+	}
+	return &Track{
+		SensorHits:  make(map[string]int),
+		targetVotes: make(map[string]int),
+	}
 }
 
 func (t *Tracker) associate(p geo.Vec) *Track {
@@ -165,7 +189,12 @@ func (t *Tracker) expire(now time.Duration) {
 	for _, tr := range t.tracks {
 		if now-tr.LastSeen <= t.opts.ExpireAfter {
 			kept = append(kept, tr)
+		} else {
+			t.free = append(t.free, tr)
 		}
+	}
+	for i := len(kept); i < len(t.tracks); i++ {
+		t.tracks[i] = nil
 	}
 	t.tracks = kept
 }
@@ -187,6 +216,18 @@ func (t *Tracker) ConfirmedNear(pos geo.Vec, radius float64) []*Track {
 		}
 	}
 	return out
+}
+
+// AppendConfirmedPositions appends the positions of confirmed tracks within
+// radius of pos to dst and returns it — the allocation-free form of
+// ConfirmedNear for the per-tick protective-field query.
+func (t *Tracker) AppendConfirmedPositions(dst []geo.Vec, pos geo.Vec, radius float64) []geo.Vec {
+	for _, tr := range t.tracks {
+		if tr.Confirmed && tr.Pos.Dist(pos) <= radius {
+			dst = append(dst, tr.Pos)
+		}
+	}
+	return dst
 }
 
 // Metrics summarises tracker performance for the experiment harness.

@@ -125,25 +125,30 @@ func (g *Grid) OccludedAt(p Vec) bool { return g.At(g.CellOf(p)).Occludes() }
 // LineOfSight reports whether an unobstructed ground-level sight line exists
 // from a to b. The endpoints' own cells never occlude (an observer standing
 // next to a tree can still see out). Traversal uses a DDA walk so no
-// intersected cell is skipped.
+// intersected cell is skipped. This runs once per sensor-target pair per
+// control tick, so it walks the cells iteratively instead of materialising
+// them.
 func (g *Grid) LineOfSight(a, b Vec) bool {
-	start, end := g.CellOf(a), g.CellOf(b)
-	for _, c := range g.traverse(a, b) {
-		if c == start || c == end {
-			continue
-		}
-		if g.At(c).Occludes() {
-			return false
-		}
-	}
-	return true
+	_, blocked := g.firstOccluder(a, b)
+	return !blocked
 }
 
 // FirstObstruction returns the first occluding cell strictly between a and b,
 // and whether one exists.
 func (g *Grid) FirstObstruction(a, b Vec) (Cell, bool) {
+	return g.firstOccluder(a, b)
+}
+
+// firstOccluder walks the same cell sequence as traverse and returns the
+// first occluding cell strictly between the endpoints' own cells.
+func (g *Grid) firstOccluder(a, b Vec) (Cell, bool) {
 	start, end := g.CellOf(a), g.CellOf(b)
-	for _, c := range g.traverse(a, b) {
+	w := newGridWalker(g, a, b)
+	for {
+		c, ok := w.next()
+		if !ok {
+			return Cell{}, false
+		}
 		if c == start || c == end {
 			continue
 		}
@@ -151,75 +156,117 @@ func (g *Grid) FirstObstruction(a, b Vec) (Cell, bool) {
 			return c, true
 		}
 	}
-	return Cell{}, false
 }
 
 // traverse returns the cells intersected by segment a→b in order, using an
-// Amanatides–Woo DDA walk over the grid.
+// Amanatides–Woo DDA walk over the grid. Hot-path callers (LineOfSight)
+// iterate the walker directly instead of materialising the slice.
 func (g *Grid) traverse(a, b Vec) []Cell {
-	cur := g.CellOf(a)
-	end := g.CellOf(b)
-	cells := []Cell{cur}
-	if cur == end {
-		return cells
+	w := newGridWalker(g, a, b)
+	var cells []Cell
+	for {
+		c, ok := w.next()
+		if !ok {
+			return cells
+		}
+		cells = append(cells, c)
 	}
+}
 
+// gridWalker yields the cells intersected by a segment one at a time — the
+// Amanatides–Woo DDA walk as an iterator, so sight-line checks allocate
+// nothing. The walker is a value type; it stays on the caller's stack.
+type gridWalker struct {
+	cur, end     Cell
+	stepX, stepY int
+	tMaxX, tMaxY float64
+	tDeltaX      float64
+	tDeltaY      float64
+	remaining    int // bound: a segment crosses at most cols+rows+2 boundaries
+	started      bool
+	done         bool
+}
+
+func newGridWalker(g *Grid, a, b Vec) gridWalker {
+	w := gridWalker{
+		cur:       g.CellOf(a),
+		end:       g.CellOf(b),
+		stepX:     1,
+		stepY:     1,
+		remaining: g.cols + g.rows + 2,
+	}
 	d := b.Sub(a)
-	stepX, stepY := 1, 1
 	if d.X < 0 {
-		stepX = -1
+		w.stepX = -1
 	}
 	if d.Y < 0 {
-		stepY = -1
+		w.stepY = -1
 	}
 
 	// tMaxX/tMaxY: parametric distance along the segment to the next vertical/
 	// horizontal cell boundary. tDelta: distance between successive boundaries.
 	inf := 1e18
-	tMaxX, tDeltaX := inf, inf
+	w.tMaxX, w.tDeltaX = inf, inf
 	if d.X != 0 {
 		var nextX float64
-		if stepX > 0 {
-			nextX = float64(cur.Col+1) * g.cellSize
+		if w.stepX > 0 {
+			nextX = float64(w.cur.Col+1) * g.cellSize
 		} else {
-			nextX = float64(cur.Col) * g.cellSize
+			nextX = float64(w.cur.Col) * g.cellSize
 		}
-		tMaxX = (nextX - a.X) / d.X
-		tDeltaX = g.cellSize / absF(d.X)
+		w.tMaxX = (nextX - a.X) / d.X
+		w.tDeltaX = g.cellSize / absF(d.X)
 	}
-	tMaxY, tDeltaY := inf, inf
+	w.tMaxY, w.tDeltaY = inf, inf
 	if d.Y != 0 {
 		var nextY float64
-		if stepY > 0 {
-			nextY = float64(cur.Row+1) * g.cellSize
+		if w.stepY > 0 {
+			nextY = float64(w.cur.Row+1) * g.cellSize
 		} else {
-			nextY = float64(cur.Row) * g.cellSize
+			nextY = float64(w.cur.Row) * g.cellSize
 		}
-		tMaxY = (nextY - a.Y) / d.Y
-		tDeltaY = g.cellSize / absF(d.Y)
+		w.tMaxY = (nextY - a.Y) / d.Y
+		w.tDeltaY = g.cellSize / absF(d.Y)
 	}
+	return w
+}
 
-	// Bounded walk: the segment can cross at most cols+rows+2 boundaries.
-	for i := 0; i < g.cols+g.rows+2; i++ {
-		if tMaxX < tMaxY {
-			if tMaxX > 1 {
-				break
-			}
-			cur.Col += stepX
-			tMaxX += tDeltaX
-		} else {
-			if tMaxY > 1 {
-				break
-			}
-			cur.Row += stepY
-			tMaxY += tDeltaY
-		}
-		cells = append(cells, cur)
-		if cur == end {
-			break
-		}
+// next returns the next intersected cell. The start cell is yielded first;
+// the walk ends after the end cell, the segment's extent, or the boundary
+// bound, whichever comes first.
+func (w *gridWalker) next() (Cell, bool) {
+	if w.done {
+		return Cell{}, false
 	}
-	return cells
+	if !w.started {
+		w.started = true
+		if w.cur == w.end {
+			w.done = true
+		}
+		return w.cur, true
+	}
+	for w.remaining > 0 {
+		w.remaining--
+		if w.tMaxX < w.tMaxY {
+			if w.tMaxX > 1 {
+				break
+			}
+			w.cur.Col += w.stepX
+			w.tMaxX += w.tDeltaX
+		} else {
+			if w.tMaxY > 1 {
+				break
+			}
+			w.cur.Row += w.stepY
+			w.tMaxY += w.tDeltaY
+		}
+		if w.cur == w.end {
+			w.done = true
+		}
+		return w.cur, true
+	}
+	w.done = true
+	return Cell{}, false
 }
 
 func absF(x float64) float64 {

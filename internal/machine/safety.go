@@ -42,11 +42,10 @@ type SafetyController struct {
 	// HoldTime keeps the stop latched after the last in-field detection.
 	HoldTime time.Duration
 
-	machine      *Machine
-	lastBreach   time.Duration
-	breached     bool
-	breachCount  int
-	decisionsLog []FieldDecision
+	machine     *Machine
+	lastBreach  time.Duration
+	breached    bool
+	breachCount int
 }
 
 // NewSafetyController creates a controller for m with forwarder-scale fields
@@ -92,7 +91,6 @@ func (sc *SafetyController) Assess(now time.Duration, confirmed []geo.Vec) Field
 		sc.machine.SetSlow(StopReasonPerson, false)
 		sc.releaseStopIfHeldOut(now)
 	}
-	sc.decisionsLog = append(sc.decisionsLog, decision)
 	return decision
 }
 
@@ -105,10 +103,3 @@ func (sc *SafetyController) releaseStopIfHeldOut(now time.Duration) {
 
 // BreachCount returns the number of distinct protective-field breaches.
 func (sc *SafetyController) BreachCount() int { return sc.breachCount }
-
-// Decisions returns a copy of the decision history (one entry per Assess).
-func (sc *SafetyController) Decisions() []FieldDecision {
-	out := make([]FieldDecision, len(sc.decisionsLog))
-	copy(out, sc.decisionsLog)
-	return out
-}

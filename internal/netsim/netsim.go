@@ -71,6 +71,84 @@ const (
 // wireSize approximates the frame's on-air size in bytes.
 func (f Frame) wireSize() int { return frameHeaderSize + len(f.Payload) + len(f.MIC) }
 
+// pooledFrame is the recycled over-the-air representation of adapter-sent
+// frames: the payload is copied into frame-owned storage and the medium's
+// reference counting returns the frame to its adapter's pool once the last
+// scheduled delivery has run. Capturing observers must deep-copy via
+// SnapshotFrame before retaining one.
+type pooledFrame struct {
+	Frame
+	refs int
+	pool *framePool
+	buf  []byte // payload backing storage, reused across sends
+}
+
+var _ radio.Refcounted = (*pooledFrame)(nil)
+
+// Retain implements radio.Refcounted.
+func (f *pooledFrame) Retain() { f.refs++ }
+
+// Release implements radio.Refcounted.
+func (f *pooledFrame) Release() {
+	f.refs--
+	if f.refs == 0 {
+		f.pool.put(f)
+	}
+}
+
+type framePool struct {
+	free []*pooledFrame
+}
+
+func (p *framePool) get() *pooledFrame {
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		f.refs = 1
+		return f
+	}
+	return &pooledFrame{refs: 1, pool: p}
+}
+
+func (p *framePool) put(f *pooledFrame) {
+	buf := f.buf
+	f.Frame = Frame{}
+	f.buf = buf[:0]
+	p.free = append(p.free, f)
+}
+
+// frameView extracts the link-layer frame carried by a packet, pooled or
+// not. The returned value shares the payload storage of an in-flight pooled
+// frame: it is valid during a synchronous delivery callback, but must be
+// deep-copied (SnapshotFrame) before being retained.
+func frameView(p radio.Packet) (Frame, bool) {
+	switch v := p.Payload.(type) {
+	case *pooledFrame:
+		return v.Frame, true
+	case Frame:
+		return v, true
+	case *Frame:
+		return *v, true
+	default:
+		return Frame{}, false
+	}
+}
+
+// SnapshotFrame extracts the frame carried by a packet as a retainable deep
+// copy (payload and MIC storage owned by the caller) — the capture primitive
+// for recording observers, which may hold frames long after the in-flight
+// pooled original has been recycled.
+func SnapshotFrame(p radio.Packet) (Frame, bool) {
+	f, ok := frameView(p)
+	if !ok {
+		return Frame{}, false
+	}
+	f.Payload = append([]byte(nil), f.Payload...)
+	f.MIC = append([]byte(nil), f.MIC...)
+	return f, true
+}
+
 // Stats aggregates per-adapter counters.
 type Stats struct {
 	FramesSent       int64 `json:"framesSent"`
@@ -95,6 +173,7 @@ type Adapter struct {
 	txSeq  uint64
 	stats  Stats
 	online bool
+	pool   framePool
 
 	// OnMessage receives data payloads from associated peers.
 	OnMessage func(from radio.NodeID, payload []byte)
@@ -215,16 +294,27 @@ func (a *Adapter) send(f Frame) error {
 	a.txSeq++
 	f.Seq = a.txSeq
 	a.stats.FramesSent++
-	return a.medium.Transmit(radio.Packet{
+	// Ship a pooled frame: the payload is copied into frame-owned storage so
+	// the caller's buffer is reusable the moment Transmit returns, and the
+	// frame itself recycles once the last scheduled delivery lands.
+	pf := a.pool.get()
+	pf.Frame = f
+	if len(f.Payload) > 0 {
+		pf.buf = append(pf.buf[:0], f.Payload...)
+		pf.Frame.Payload = pf.buf
+	}
+	err := a.medium.Transmit(radio.Packet{
 		From:    a.id,
 		To:      f.Dst,
 		Size:    f.wireSize(),
-		Payload: f,
+		Payload: pf,
 	})
+	pf.Release() // drop the sender's reference
+	return err
 }
 
 func (a *Adapter) receive(p radio.Packet) {
-	f, ok := p.Payload.(Frame)
+	f, ok := frameView(p)
 	if !ok {
 		return
 	}

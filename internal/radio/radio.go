@@ -37,6 +37,16 @@ type Packet struct {
 	Payload interface{}
 }
 
+// Refcounted is implemented by pooled packet payloads (the link layer's
+// recycled frames). The medium retains one reference per scheduled delivery
+// and releases it once the delivery callback has run, so the payload's owner
+// can recycle it as soon as the last in-flight copy lands. Payloads that do
+// not implement it are simply garbage-collected.
+type Refcounted interface {
+	Retain()
+	Release()
+}
+
 // DropCause classifies why a packet failed to reach a receiver.
 type DropCause int
 
@@ -177,6 +187,11 @@ type Medium struct {
 	nodes   map[NodeID]*Node
 	jammers map[string]*Jammer
 	stats   Stats
+	// order is the deterministic receiver iteration order (sorted node IDs),
+	// maintained on Add/RemoveNode so Transmit does not sort per packet.
+	order []NodeID
+	// freeDeliveries recycles the scheduled delivery tasks.
+	freeDeliveries []*delivery
 
 	// Observer, if set, is called for every delivery attempt. The IDS taps
 	// the medium here (promiscuous monitoring port).
@@ -197,10 +212,26 @@ func NewMedium(sched *simclock.Scheduler, grid *geo.Grid, r *rng.Rand, cfg Confi
 }
 
 // AddNode registers a radio endpoint. Re-adding an ID replaces the node.
-func (m *Medium) AddNode(n *Node) { m.nodes[n.ID] = n }
+func (m *Medium) AddNode(n *Node) {
+	if _, exists := m.nodes[n.ID]; !exists {
+		i := sort.Search(len(m.order), func(i int) bool { return m.order[i] >= n.ID })
+		m.order = append(m.order, "")
+		copy(m.order[i+1:], m.order[i:])
+		m.order[i] = n.ID
+	}
+	m.nodes[n.ID] = n
+}
 
 // RemoveNode unregisters a radio endpoint.
-func (m *Medium) RemoveNode(id NodeID) { delete(m.nodes, id) }
+func (m *Medium) RemoveNode(id NodeID) {
+	if _, exists := m.nodes[id]; exists {
+		i := sort.Search(len(m.order), func(i int) bool { return m.order[i] >= id })
+		if i < len(m.order) && m.order[i] == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+		}
+	}
+	delete(m.nodes, id)
+}
 
 // Node returns the registered node with the given ID, if any.
 func (m *Medium) Node(id NodeID) (*Node, bool) {
@@ -247,16 +278,12 @@ func (m *Medium) Transmit(p Packet) error {
 	airtime := m.Airtime(p.Size)
 	txPos := tx.Pos()
 
-	// Snapshot receivers in deterministic order.
-	ids := make([]NodeID, 0, len(m.nodes))
-	for id := range m.nodes {
-		if id != p.From {
-			ids = append(ids, id)
+	// m.order is the receivers in deterministic (sorted) order; deliveries
+	// are deferred by airtime, so no node set mutation can happen mid-loop.
+	for _, id := range m.order {
+		if id == p.From {
+			continue
 		}
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-
-	for _, id := range ids {
 		rx := m.nodes[id]
 		if rx.Channel != tx.Channel {
 			continue
@@ -293,7 +320,48 @@ func (m *Medium) attemptDelivery(p Packet, tx, rx *Node, txPos geo.Vec, airtime 
 	if recv == nil {
 		return
 	}
-	m.sched.After(airtime, func(*simclock.Scheduler) { recv(p) })
+	if rc, ok := p.Payload.(Refcounted); ok {
+		rc.Retain()
+	}
+	d := m.getDelivery()
+	*d = delivery{m: m, recv: recv, p: p}
+	m.sched.AfterTask(airtime, d)
+}
+
+// delivery is a pooled scheduled frame arrival: one per receiver per
+// transmission, recycled through the medium so the send path stays
+// allocation-free.
+type delivery struct {
+	m    *Medium
+	recv func(Packet)
+	p    Packet
+}
+
+// RunEvent implements simclock.Task.
+func (d *delivery) RunEvent(*simclock.Scheduler) {
+	m, recv, p := d.m, d.recv, d.p
+	// Return the task first: the receive callback may transmit (and so
+	// schedule new deliveries) reusing this node.
+	m.putDelivery(d)
+	recv(p)
+	if rc, ok := p.Payload.(Refcounted); ok {
+		rc.Release()
+	}
+}
+
+func (m *Medium) getDelivery() *delivery {
+	if n := len(m.freeDeliveries); n > 0 {
+		d := m.freeDeliveries[n-1]
+		m.freeDeliveries[n-1] = nil
+		m.freeDeliveries = m.freeDeliveries[:n-1]
+		return d
+	}
+	return new(delivery)
+}
+
+func (m *Medium) putDelivery(d *delivery) {
+	*d = delivery{}
+	m.freeDeliveries = append(m.freeDeliveries, d)
 }
 
 func (m *Medium) drop(p Packet, to NodeID, sinr float64, cause DropCause) {

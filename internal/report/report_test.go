@@ -151,3 +151,38 @@ func TestTableRows(t *testing.T) {
 		t.Fatal("row count wrong")
 	}
 }
+
+// TestAddCountRowsByteStable locks the fix for nondeterministic counter-map
+// rendering: tables built from the same map must render byte-identically on
+// every call, with rows in sorted key order.
+func TestAddCountRowsByteStable(t *testing.T) {
+	alerts := map[string]int{
+		"link-degraded": 4, "replay-rejected": 2, "deauth-flood": 9,
+		"gnss-implausible": 1, "decrypt-failure": 7, "mgmt-forgery": 3,
+	}
+	drops := map[string]int64{"jammed": 120, "weak-signal": 44, "offline": 1}
+
+	render := func() string {
+		at := NewTable("IDS alerts", "type", "count")
+		AddCountRows(at, alerts)
+		rt := NewTable("Radio drops", "cause", "count")
+		AddCountRows(rt, drops)
+		return at.Render() + rt.Render()
+	}
+	first := render()
+	for i := 0; i < 100; i++ {
+		if got := render(); got != first {
+			t.Fatalf("render %d differs from first:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+	wantOrder := []string{"deauth-flood", "decrypt-failure", "gnss-implausible",
+		"link-degraded", "mgmt-forgery", "replay-rejected"}
+	idx := -1
+	for _, k := range wantOrder {
+		next := strings.Index(first, k)
+		if next < 0 || next < idx {
+			t.Fatalf("key %q out of sorted order in rendering:\n%s", k, first)
+		}
+		idx = next
+	}
+}

@@ -37,6 +37,8 @@ type Lidar struct {
 	BaseDetectProb float64
 	// PosSigmaM is detection position noise.
 	PosSigmaM float64
+
+	scratch []Detection
 }
 
 // NewLidar creates a LiDAR with a 40 m range over the given grid.
@@ -50,9 +52,15 @@ func NewLidar(r *rng.Rand, grid *geo.Grid) *Lidar {
 	}
 }
 
-// Scan attempts to detect each target from the sensor position.
+// Scan attempts to detect each target from the sensor position. The returned
+// slice is a scratch buffer owned by the sensor: it is valid until the next
+// Scan, so callers must consume (or copy) it before scanning again.
 func (l *Lidar) Scan(from geo.Vec, targets []Target, w Weather) []Detection {
-	var out []Detection
+	out := l.scratch[:0]
+	// Weather attenuation is invariant across targets; hoist it out of the
+	// loop. The multiplication order below matches the original per-target
+	// expression exactly so detection probabilities stay bit-identical.
+	fRain, fFog := 1-0.5*w.Rain, 1-0.3*w.Fog
 	for _, t := range targets {
 		d := from.Dist(t.Pos)
 		if d > l.RangeM {
@@ -61,7 +69,7 @@ func (l *Lidar) Scan(from geo.Vec, targets []Target, w Weather) []Detection {
 		if !l.grid.LineOfSight(from, t.Pos) {
 			continue
 		}
-		p := l.BaseDetectProb * rangeFalloff(d, l.RangeM) * (1 - 0.5*w.Rain) * (1 - 0.3*w.Fog)
+		p := l.BaseDetectProb * rangeFalloff(d, l.RangeM) * fRain * fFog
 		if !l.rand.Bool(p) {
 			continue
 		}
@@ -72,6 +80,7 @@ func (l *Lidar) Scan(from geo.Vec, targets []Target, w Weather) []Detection {
 			Sensor:     "lidar",
 		})
 	}
+	l.scratch = out
 	return out
 }
 
@@ -93,6 +102,7 @@ type Camera struct {
 	PosSigmaM float64
 
 	fpCount int
+	scratch []Detection
 }
 
 // NewCamera creates a camera with a 50 m range over the given grid.
@@ -107,16 +117,22 @@ func NewCamera(r *rng.Rand, grid *geo.Grid) *Camera {
 	}
 }
 
-// Scan attempts to detect each target from the sensor position.
+// Scan attempts to detect each target from the sensor position. The returned
+// slice is a scratch buffer owned by the sensor: it is valid until the next
+// Scan, so callers must consume (or copy) it before scanning again.
 func (c *Camera) Scan(from geo.Vec, targets []Target, w Weather) []Detection {
-	var out []Detection
+	out := c.scratch[:0]
 	if c.Blinded {
 		// A blinded camera sees almost nothing and hallucinates glare blobs.
 		if c.rand.Bool(0.05) {
 			out = append(out, c.clutter(from))
 		}
+		c.scratch = out
 		return out
 	}
+	// Hoisted weather attenuation; multiplication order matches the original
+	// per-target expression so probabilities stay bit-identical.
+	fDark, fFog, fRain := 1-0.7*w.Darkness, 1-0.5*w.Fog, 1-0.3*w.Rain
 	for _, t := range targets {
 		d := from.Dist(t.Pos)
 		if d > c.RangeM {
@@ -126,7 +142,7 @@ func (c *Camera) Scan(from geo.Vec, targets []Target, w Weather) []Detection {
 			continue
 		}
 		p := c.BaseDetectProb * rangeFalloff(d, c.RangeM) *
-			(1 - 0.7*w.Darkness) * (1 - 0.5*w.Fog) * (1 - 0.3*w.Rain)
+			fDark * fFog * fRain
 		if !c.rand.Bool(p) {
 			continue
 		}
@@ -140,6 +156,7 @@ func (c *Camera) Scan(from geo.Vec, targets []Target, w Weather) []Detection {
 	if c.rand.Bool(c.FalsePositiveRate) {
 		out = append(out, c.clutter(from))
 	}
+	c.scratch = out
 	return out
 }
 
@@ -165,6 +182,8 @@ type Ultrasonic struct {
 	RangeM float64
 	// DetectProb is the in-range detection probability.
 	DetectProb float64
+
+	scratch []Detection
 }
 
 // NewUltrasonic creates a ranger with a 5 m range.
@@ -172,9 +191,10 @@ func NewUltrasonic(r *rng.Rand) *Ultrasonic {
 	return &Ultrasonic{rand: r.Derive("ultrasonic"), RangeM: 5, DetectProb: 0.99}
 }
 
-// Scan detects targets within the short protective field.
+// Scan detects targets within the short protective field. The returned slice
+// is a scratch buffer owned by the sensor: it is valid until the next Scan.
 func (u *Ultrasonic) Scan(from geo.Vec, targets []Target, _ Weather) []Detection {
-	var out []Detection
+	out := u.scratch[:0]
 	for _, t := range targets {
 		if from.Dist(t.Pos) > u.RangeM {
 			continue
@@ -184,6 +204,7 @@ func (u *Ultrasonic) Scan(from geo.Vec, targets []Target, _ Weather) []Detection
 		}
 		out = append(out, Detection{TargetID: t.ID, Pos: t.Pos, Confidence: 0.99, Sensor: "ultrasonic"})
 	}
+	u.scratch = out
 	return out
 }
 
@@ -205,6 +226,8 @@ type AerialCamera struct {
 	Blinded bool
 	// PosSigmaM is detection position noise.
 	PosSigmaM float64
+
+	scratch []Detection
 }
 
 // NewAerialCamera creates a drone camera with a 60 m footprint.
@@ -220,12 +243,16 @@ func NewAerialCamera(r *rng.Rand, grid *geo.Grid) *AerialCamera {
 }
 
 // Scan attempts to detect each target from the drone's ground-projected
-// position.
+// position. The returned slice is a scratch buffer owned by the sensor: it
+// is valid until the next Scan.
 func (a *AerialCamera) Scan(from geo.Vec, targets []Target, w Weather) []Detection {
 	if a.Blinded {
 		return nil
 	}
-	var out []Detection
+	out := a.scratch[:0]
+	// Hoisted weather attenuation; multiplication order matches the original
+	// per-target expression so probabilities stay bit-identical.
+	fFog, fDark, fRain := 1-0.6*w.Fog, 1-0.5*w.Darkness, 1-0.3*w.Rain
 	for _, t := range targets {
 		d := from.Dist(t.Pos)
 		if d > a.RangeM {
@@ -233,7 +260,7 @@ func (a *AerialCamera) Scan(from geo.Vec, targets []Target, w Weather) []Detecti
 		}
 		underCanopy := a.grid.At(a.grid.CellOf(t.Pos)) == geo.Tree
 		p := a.BaseDetectProb * rangeFalloff(d, a.RangeM) *
-			(1 - 0.6*w.Fog) * (1 - 0.5*w.Darkness) * (1 - 0.3*w.Rain)
+			fFog * fDark * fRain
 		if underCanopy {
 			p *= 1 - a.CanopyBlockProb
 		}
@@ -247,6 +274,7 @@ func (a *AerialCamera) Scan(from geo.Vec, targets []Target, w Weather) []Detecti
 			Sensor:     "aerial-camera",
 		})
 	}
+	a.scratch = out
 	return out
 }
 

@@ -21,6 +21,14 @@ var ErrStopped = errors.New("scheduler stopped")
 // schedule follow-up events.
 type Event func(s *Scheduler)
 
+// Task is the allocation-free alternative to Event: a pooled object whose
+// RunEvent method fires at the scheduled time. High-rate schedulers (the radio
+// medium's frame deliveries) implement it on recycled structs so scheduling
+// does not allocate a closure per event.
+type Task interface {
+	RunEvent(s *Scheduler)
+}
+
 // Handle identifies a scheduled event so it can be cancelled.
 type Handle uint64
 
@@ -33,6 +41,10 @@ type Scheduler struct {
 	stopped bool
 	// canceled marks handles whose events must not fire.
 	canceled map[Handle]struct{}
+	// free recycles queue nodes: the control loop schedules one event per
+	// tick and the radio one per delivery, so node reuse keeps the steady
+	// state allocation-free.
+	free []*queuedEvent
 }
 
 // New returns an empty scheduler at virtual time zero.
@@ -46,12 +58,32 @@ func (s *Scheduler) Now() time.Duration { return s.now }
 // At schedules fn to run at absolute virtual time t. Times in the past are
 // clamped to now. It returns a Handle usable with Cancel.
 func (s *Scheduler) At(t time.Duration, fn Event) Handle {
+	return s.schedule(t, fn, nil)
+}
+
+// AtTask schedules task.RunEvent at absolute virtual time t. Unlike At it
+// performs no allocation beyond the (pooled) queue node, so callers can reuse
+// task objects for a zero-allocation steady state.
+func (s *Scheduler) AtTask(t time.Duration, task Task) Handle {
+	return s.schedule(t, nil, task)
+}
+
+func (s *Scheduler) schedule(t time.Duration, fn Event, task Task) Handle {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
 	h := Handle(s.seq)
-	heap.Push(&s.queue, &queuedEvent{at: t, seq: s.seq, fn: fn, handle: h})
+	var qe *queuedEvent
+	if n := len(s.free); n > 0 {
+		qe = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		qe = new(queuedEvent)
+	}
+	*qe = queuedEvent{at: t, seq: s.seq, fn: fn, task: task, handle: h}
+	heap.Push(&s.queue, qe)
 	return h
 }
 
@@ -61,6 +93,21 @@ func (s *Scheduler) After(d time.Duration, fn Event) Handle {
 		d = 0
 	}
 	return s.At(s.now+d, fn)
+}
+
+// AfterTask schedules task.RunEvent d after the current virtual time.
+func (s *Scheduler) AfterTask(d time.Duration, task Task) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtTask(s.now+d, task)
+}
+
+// release returns a fired (or skipped) node to the free list. The node's
+// references are dropped so recycled nodes do not pin callbacks alive.
+func (s *Scheduler) release(qe *queuedEvent) {
+	*qe = queuedEvent{}
+	s.free = append(s.free, qe)
 }
 
 // Every schedules fn to run repeatedly with the given period, starting one
@@ -112,12 +159,7 @@ func (s *Scheduler) Run(until time.Duration) error {
 			return nil
 		}
 		heap.Pop(&s.queue)
-		if _, dead := s.canceled[next.handle]; dead {
-			delete(s.canceled, next.handle)
-			continue
-		}
-		s.now = next.at
-		next.fn(s)
+		s.fire(next)
 	}
 	if s.now < until {
 		s.now = until
@@ -133,21 +175,39 @@ func (s *Scheduler) Step() bool {
 		if !ok {
 			return false
 		}
-		if _, dead := s.canceled[next.handle]; dead {
-			delete(s.canceled, next.handle)
-			continue
+		if s.fire(next) {
+			return true
 		}
-		s.now = next.at
-		next.fn(s)
-		return true
 	}
 	return false
+}
+
+// fire releases a popped node and runs its callback, advancing the clock to
+// the node's time. It reports whether the callback actually ran (false for
+// a cancelled handle). The node is recycled before the callback executes so
+// re-entrant scheduling can reuse it.
+func (s *Scheduler) fire(next *queuedEvent) bool {
+	if _, dead := s.canceled[next.handle]; dead {
+		delete(s.canceled, next.handle)
+		s.release(next)
+		return false
+	}
+	s.now = next.at
+	fn, task := next.fn, next.task
+	s.release(next)
+	if task != nil {
+		task.RunEvent(s)
+	} else {
+		fn(s)
+	}
+	return true
 }
 
 type queuedEvent struct {
 	at     time.Duration
 	seq    uint64
 	fn     Event
+	task   Task
 	handle Handle
 }
 

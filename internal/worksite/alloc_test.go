@@ -1,0 +1,94 @@
+package worksite
+
+import (
+	"testing"
+)
+
+// TestTickLoopZeroAllocs locks the hot path at zero heap allocations per
+// steady-state control tick, so an allocation regression fails `go test`
+// rather than waiting for someone to read a benchmark.
+//
+// "Steady state" excludes ticks with discrete transitions: mission phase
+// changes replan the route (A* allocates its search state) and safety/mode
+// transitions append to the operational timeline. Those are event-driven,
+// bounded per run, and deliberately out of scope — the invariant is that the
+// per-tick work (worker movement, drone orbit + detection downlink over the
+// radio, sensing, fusion, protective fields, navigation, scoring, event
+// fan-out) allocates nothing. The test therefore scouts the deterministic
+// run for a window of transition-free ticks and measures there.
+func TestTickLoopZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are meaningless under -race")
+	}
+	const (
+		warmTicks    = 240 // two simulated minutes: buffers reach high water
+		measureTicks = 50
+	)
+	cfg := DefaultConfig(42) // the E1 baseline: unsecured, drone on
+
+	// Scout pass: the run is deterministic, so a first session tells us
+	// which ticks carry transitions. A tick is "quiet" when nothing about
+	// the mission/safety/mode state changed from the previous tick.
+	scout, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scoutTicks = warmTicks + 4000
+	quiet := make([]bool, scoutTicks+1)
+	var prev TickSnapshot
+	for i := 1; i <= scoutTicks; i++ {
+		tick, ok := scout.Step()
+		if !ok {
+			t.Fatalf("scout session ended at tick %d", i)
+		}
+		quiet[i] = i > 1 &&
+			tick.Mission == prev.Mission &&
+			tick.Mode == prev.Mode &&
+			tick.Unsafe == prev.Unsafe &&
+			tick.Colliding == prev.Colliding &&
+			tick.Stopped == prev.Stopped &&
+			tick.Alerts == prev.Alerts
+		prev = tick
+	}
+
+	// Find the first fully quiet window after warm-up. AllocsPerRun performs
+	// one extra warm-up call, and we pad one tick on each side so a
+	// transition adjacent to the window cannot bleed into it.
+	start := -1
+	for s := warmTicks; s+measureTicks+2 <= scoutTicks; s++ {
+		ok := true
+		for i := s; i < s+measureTicks+2; i++ {
+			if !quiet[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			start = s
+			break
+		}
+	}
+	if start < 0 {
+		t.Fatalf("no transition-free window of %d ticks found in %d scouted ticks", measureTicks+2, scoutTicks)
+	}
+
+	// Measurement pass on a fresh, byte-identical session.
+	se, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < start; i++ {
+		if _, ok := se.Step(); !ok {
+			t.Fatalf("session ended at tick %d", i)
+		}
+	}
+	avg := testing.AllocsPerRun(measureTicks, func() {
+		if _, ok := se.Step(); !ok {
+			t.Fatal("session ended mid-measurement")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state control tick allocates: %v allocs/op (ticks %d..%d), want 0",
+			avg, start, start+measureTicks)
+	}
+}

@@ -256,34 +256,64 @@ func (s *Site) publishTick(t TickSnapshot) {
 	}
 }
 
-// publish fans one event out to every observer (built-ins first).
+// The typed publishers fan one event out to every observer (built-ins
+// first). The control loop calls them directly rather than through
+// publish(Event) so discrete events never box into the interface on the hot
+// path.
+
+func (s *Site) publishAlert(e AlertRaised) {
+	for _, o := range s.observers {
+		o.OnAlert(e)
+	}
+}
+
+func (s *Site) publishAttackPhase(e AttackPhase) {
+	for _, o := range s.observers {
+		o.OnAttackPhase(e)
+	}
+}
+
+func (s *Site) publishSecurityResponse(e SecurityResponse) {
+	for _, o := range s.observers {
+		o.OnSecurityResponse(e)
+	}
+}
+
+func (s *Site) publishModeChange(e ModeChange) {
+	for _, o := range s.observers {
+		o.OnModeChange(e)
+	}
+}
+
+func (s *Site) publishMissionPhase(e MissionPhase) {
+	for _, o := range s.observers {
+		o.OnMissionPhase(e)
+	}
+}
+
+func (s *Site) publishSafety(e SafetyEvent) {
+	for _, o := range s.observers {
+		o.OnSafetyEvent(e)
+	}
+}
+
+// publish fans one event out to every observer (built-ins first) — the
+// interface-typed entry point for event injection seams (Session.EmitAttackPhase).
 func (s *Site) publish(ev Event) {
 	switch e := ev.(type) {
 	case TickSnapshot:
 		s.publishTick(e)
 	case AlertRaised:
-		for _, o := range s.observers {
-			o.OnAlert(e)
-		}
+		s.publishAlert(e)
 	case AttackPhase:
-		for _, o := range s.observers {
-			o.OnAttackPhase(e)
-		}
+		s.publishAttackPhase(e)
 	case SecurityResponse:
-		for _, o := range s.observers {
-			o.OnSecurityResponse(e)
-		}
+		s.publishSecurityResponse(e)
 	case ModeChange:
-		for _, o := range s.observers {
-			o.OnModeChange(e)
-		}
+		s.publishModeChange(e)
 	case MissionPhase:
-		for _, o := range s.observers {
-			o.OnMissionPhase(e)
-		}
+		s.publishMissionPhase(e)
 	case SafetyEvent:
-		for _, o := range s.observers {
-			o.OnSafetyEvent(e)
-		}
+		s.publishSafety(e)
 	}
 }

@@ -221,7 +221,7 @@ func (s *Site) commissionIDS() {
 // feed the live risk register and, for link degradation, trigger the
 // channel-agility countermeasure.
 func (s *Site) handleAlert(a ids.Alert) {
-	s.publish(AlertRaised{At: a.At, Alert: a})
+	s.publishAlert(AlertRaised{At: a.At, Alert: a})
 	if s.assessor != nil {
 		s.assessor.ObserveAlertType(a.Type, a.At)
 	}
@@ -243,7 +243,7 @@ func (s *Site) hopChannel(now time.Duration) {
 	}
 	s.lastHop = now
 	s.hops++
-	s.publish(SecurityResponse{
+	s.publishSecurityResponse(SecurityResponse{
 		At:     now,
 		Kind:   ResponseChannelHop,
 		Detail: fmt.Sprintf("hop #%d (link degradation)", s.hops),
@@ -323,11 +323,19 @@ func (s *Site) associateLinks() error {
 // send transmits an application message from -> to, sealing it when the
 // secured profile is active. Send errors are expected under attack (link
 // torn down) and are absorbed as lost traffic.
+//
+// Encoding reuses the site's buffer and encoder: Encode produces exactly
+// json.Marshal's bytes plus a trailing newline (trimmed below), and the
+// adapter copies the payload into its own frame storage before Transmit
+// returns, so the buffer is free for the next message immediately.
 func (s *Site) send(from, to radio.NodeID, msg wireMsg) {
-	payload, err := json.Marshal(msg)
-	if err != nil {
+	s.sendScratch = msg
+	s.sendBuf.Reset()
+	if err := s.sendEnc.Encode(&s.sendScratch); err != nil {
 		return
 	}
+	payload := s.sendBuf.Bytes()
+	payload = payload[:len(payload)-1]
 	if s.cfg.Profile.SecureChannels {
 		ch := s.channels[chanKey{from, to}]
 		if ch == nil {
@@ -378,11 +386,23 @@ func (s *Site) handleAppPayload(local, from radio.NodeID, payload []byte) {
 		}
 		payload = plain
 	}
-	var msg wireMsg
-	if err := json.Unmarshal(payload, &msg); err != nil {
+	// Parse into the reused receive scratch: the fast path covers everything
+	// the encoder above emits; anything else (hostile or malformed input)
+	// falls back to encoding/json for the authoritative verdict. The
+	// fallback decodes into a fresh message — the stdlib merges into
+	// within-capacity slice elements without zeroing them, so reusing the
+	// scratch there would leak fields of an earlier message into this one.
+	msg := &s.recvMsg
+	*msg = wireMsg{Detections: msg.Detections[:0]}
+	if !fastParseWireMsg(payload, msg, s.intern) {
+		var fallback wireMsg
+		if err := json.Unmarshal(payload, &fallback); err != nil {
+			return
+		}
+		s.dispatch(local, from, fallback)
 		return
 	}
-	s.dispatch(local, from, msg)
+	s.dispatch(local, from, *msg)
 }
 
 func (s *Site) dispatch(local, from radio.NodeID, msg wireMsg) {
@@ -390,7 +410,9 @@ func (s *Site) dispatch(local, from radio.NodeID, msg wireMsg) {
 	case local == NodeForwarder && msg.Type == "heartbeat":
 		s.watchdog.Beat(s.sched.Now())
 	case local == NodeForwarder && msg.Type == "detections":
-		s.droneDets = msg.Detections
+		// Copy out of the receive scratch: droneDets must stay valid across
+		// ticks while the scratch is reused on the next message.
+		s.droneDets = append(s.droneDets[:0], msg.Detections...)
 		s.droneDetsAt = s.sched.Now()
 	case local == NodeForwarder && msg.Type == "command":
 		s.handleCommand(msg)

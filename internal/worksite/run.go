@@ -130,7 +130,7 @@ func (s *Site) controlTick(now time.Duration) {
 	s.forwarderTick(now, dt)
 
 	// 1 Hz housekeeping: heartbeats, status reports, live-risk response.
-	if s.tickNo%ticksPerSecond(dt) == 0 {
+	if s.tickNo%s.ticksPerSec == 0 {
 		s.send(NodeCoordinator, NodeForwarder, wireMsg{Type: "heartbeat", From: string(NodeCoordinator)})
 		s.sendForwarderStatus(now)
 		s.updateOperatingMode(now)
@@ -155,13 +155,13 @@ func (s *Site) updateOperatingMode(now time.Duration) {
 		return
 	}
 	if mode > s.mode {
-		s.publish(SecurityResponse{
+		s.publishSecurityResponse(SecurityResponse{
 			At:     now,
 			Kind:   ResponseModeEscalation,
 			Detail: fmt.Sprintf("%s -> %s", s.mode, mode),
 		})
 	}
-	s.publish(ModeChange{At: now, From: s.mode.String(), To: mode.String()})
+	s.publishModeChange(ModeChange{At: now, From: s.mode.String(), To: mode.String()})
 	s.mode = mode
 	switch mode {
 	case risk.ModeSafeStop:
@@ -226,11 +226,14 @@ func (s *Site) droneTick(dt time.Duration) {
 	})
 }
 
+// targets snapshots the ground-truth sensor targets into a reused scratch
+// buffer; the result is valid until the next call.
 func (s *Site) targets() []sensors.Target {
-	out := make([]sensors.Target, 0, len(s.workers))
+	out := s.scratchTargets[:0]
 	for _, w := range s.workers {
 		out = append(out, sensors.Target{ID: w.id, Pos: w.pos})
 	}
+	s.scratchTargets = out
 	return out
 }
 
@@ -281,30 +284,31 @@ func (s *Site) setFailSafe(now time.Duration, reason string, latched *bool, on b
 		if on {
 			kind = SafetyFailSafeEngaged
 		}
-		s.publish(SafetyEvent{At: now, Kind: kind, Detail: reason})
+		s.publishSafety(SafetyEvent{At: now, Kind: kind, Detail: reason})
 	}
 	s.forwarder.SetStop(reason, on)
 }
 
 // updatePerception fuses local sensors with (fresh) drone detections and
-// drives the protective fields.
+// drives the protective fields. Detections accumulate in a site-owned
+// scratch buffer (each sensor's Scan result is itself a reused buffer, so
+// the copies here are what decouple their lifetimes).
 func (s *Site) updatePerception(now time.Duration) {
 	targets := s.targets()
 	pos := s.forwarder.Pose.Pos
-	dets := s.fwLidar.Scan(pos, targets, s.cfg.Weather)
+	dets := s.scratchDets[:0]
+	dets = append(dets, s.fwLidar.Scan(pos, targets, s.cfg.Weather)...)
 	dets = append(dets, s.fwCamera.Scan(pos, targets, s.cfg.Weather)...)
 	dets = append(dets, s.fwUltra.Scan(pos, targets, s.cfg.Weather)...)
 	if s.cfg.DroneEnabled && now-s.droneDetsAt <= droneStaleness {
 		dets = append(dets, s.droneDets...)
 	}
+	s.scratchDets = dets
 	s.tracker.Update(now, dets)
 
-	confirmed := s.tracker.ConfirmedNear(pos, s.safety.WarningRadiusM+5)
-	positions := make([]geo.Vec, 0, len(confirmed))
-	for _, tr := range confirmed {
-		positions = append(positions, tr.Pos)
-	}
-	s.safety.Assess(now, positions)
+	s.scratchPositions = s.tracker.AppendConfirmedPositions(
+		s.scratchPositions[:0], pos, s.safety.WarningRadiusM+5)
+	s.safety.Assess(now, s.scratchPositions)
 }
 
 // missionStep advances the haul cycle. Navigation control operates in the
@@ -320,6 +324,7 @@ func (s *Site) missionStep(now time.Duration, dt time.Duration) {
 			goal = s.landing
 		}
 		if s.believed.Dist(goal) <= arriveRadiusM || s.navDone() {
+			detail := "phase -> loading"
 			if s.mission == phaseToHarvest {
 				s.mission = phaseLoading
 				s.phaseLeft = s.cfg.LoadTime
@@ -328,8 +333,9 @@ func (s *Site) missionStep(now time.Duration, dt time.Duration) {
 				s.mission = phaseUnloading
 				s.phaseLeft = s.cfg.UnloadTime
 				s.forwarder.SetState(machine.StateUnloading)
+				detail = "phase -> unloading"
 			}
-			s.publish(MissionPhase{At: now, Phase: s.mission.String(), Detail: "phase -> " + s.mission.String()})
+			s.publishMissionPhase(MissionPhase{At: now, Phase: s.mission.String(), Detail: detail})
 		}
 	case phaseLoading:
 		if s.forwarder.Stopped() {
@@ -343,8 +349,11 @@ func (s *Site) missionStep(now time.Duration, dt time.Duration) {
 			s.mission = phaseToLanding
 			s.planTo(s.landing, s.believed)
 			s.forwarder.SetState(machine.StateDriving)
-			s.publish(MissionPhase{At: now, Phase: s.mission.String(),
-				Detail: fmt.Sprintf("phase -> to-landing (loaded=%v)", s.loaded)})
+			detail := "phase -> to-landing (loaded=false)"
+			if s.loaded {
+				detail = "phase -> to-landing (loaded=true)"
+			}
+			s.publishMissionPhase(MissionPhase{At: now, Phase: s.mission.String(), Detail: detail})
 		}
 	case phaseUnloading:
 		if s.forwarder.Stopped() {
@@ -363,8 +372,11 @@ func (s *Site) missionStep(now time.Duration, dt time.Duration) {
 			s.mission = phaseToHarvest
 			s.planTo(s.harvest, s.believed)
 			s.forwarder.SetState(machine.StateDriving)
-			s.publish(MissionPhase{At: now, Phase: s.mission.String(),
-				Detail: fmt.Sprintf("phase -> to-harvest (delivered=%v)", delivered)})
+			detail := "phase -> to-harvest (delivered=false)"
+			if delivered {
+				detail = "phase -> to-harvest (delivered=true)"
+			}
+			s.publishMissionPhase(MissionPhase{At: now, Phase: s.mission.String(), Detail: detail})
 		}
 	}
 }
@@ -439,14 +451,14 @@ func (s *Site) scoreTick(now time.Duration) {
 	unsafeNow := moving && minDist < DangerRadiusM
 	collidingNow := unsafeNow && minDist < CollisionRadiusM
 	if unsafeNow && !s.unsafe {
-		s.publish(SafetyEvent{At: now, Kind: SafetyUnsafeEnter, MinWorkerDistM: minDist})
+		s.publishSafety(SafetyEvent{At: now, Kind: SafetyUnsafeEnter, MinWorkerDistM: minDist})
 	}
 	if !unsafeNow && s.unsafe {
-		s.publish(SafetyEvent{At: now, Kind: SafetyUnsafeExit})
+		s.publishSafety(SafetyEvent{At: now, Kind: SafetyUnsafeExit})
 	}
 	if collidingNow {
 		// Repeats every colliding tick: the collision KPI is tick-based.
-		s.publish(SafetyEvent{At: now, Kind: SafetyCollision, MinWorkerDistM: minDist, New: !s.colliding})
+		s.publishSafety(SafetyEvent{At: now, Kind: SafetyCollision, MinWorkerDistM: minDist, New: !s.colliding})
 	}
 	s.unsafe, s.colliding = unsafeNow, collidingNow
 

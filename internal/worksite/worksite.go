@@ -12,6 +12,8 @@
 package worksite
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -231,6 +233,21 @@ type Site struct {
 	commsStopOn bool // comms-watchdog fail-safe latch shadow
 	timeline    []TimelineEvent
 
+	// Per-tick scratch state. The control loop runs at 2 Hz for every
+	// simulated machine-minute, so its working set is reused tick over tick:
+	// target/detection/position buffers, the wire-message encoder, and the
+	// receive-side parse scratch. A steady-state tick performs zero heap
+	// allocations (locked by TestTickLoopZeroAllocs).
+	ticksPerSec      int
+	scratchTargets   []sensors.Target
+	scratchDets      []sensors.Detection
+	scratchPositions []geo.Vec
+	sendBuf          bytes.Buffer
+	sendEnc          *json.Encoder
+	sendScratch      wireMsg
+	recvMsg          wireMsg
+	intern           internTable
+
 	// observers receive the typed event stream; the built-in metrics and
 	// timeline observers subscribe first at commissioning.
 	observers   []Observer
@@ -292,7 +309,10 @@ func New(cfg Config) (*Site, error) {
 		adapters: make(map[radio.NodeID]*netsim.Adapter),
 		channels: make(map[chanKey]*securechan.Channel),
 		mission:  phaseToHarvest,
+		intern:   make(internTable),
 	}
+	s.sendEnc = json.NewEncoder(&s.sendBuf)
+	s.ticksPerSec = ticksPerSecond(cfg.TickPeriod)
 	s.landing = geo.V(0.15*grid.Width(), 0.5*grid.Height())
 	s.harvest = geo.V(0.85*grid.Width(), 0.5*grid.Height())
 

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Entry is the recorded outcome of one catalog benchmark.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+// File is the persisted BENCH_<date>.json document. Entries are sorted by
+// name so the file is byte-stable for a fixed set of results.
+type File struct {
+	// GeneratedAt is the RFC 3339 generation timestamp.
+	GeneratedAt string `json:"generatedAt"`
+	// Label distinguishes runs recorded on the same date (e.g. "baseline").
+	Label     string  `json:"label,omitempty"`
+	GoVersion string  `json:"goVersion"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	Entries   []Entry `json:"benchmarks"`
+}
+
+// Run executes every catalog benchmark whose name matches filter (nil runs
+// all) under the standard `testing` benchmark loop and returns the recorded
+// entries, sorted by name. progress, when non-nil, receives one line per
+// completed benchmark.
+func Run(filter *regexp.Regexp, progress func(string)) []Entry {
+	var entries []Entry
+	for _, bm := range Catalog() {
+		if filter != nil && !filter.MatchString(bm.Name) {
+			continue
+		}
+		res := testing.Benchmark(bm.Fn)
+		e := Entry{
+			Name:        bm.Name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		entries = append(entries, e)
+		if progress != nil {
+			progress(fmt.Sprintf("%-16s %12.0f ns/op %12d B/op %9d allocs/op (%d iterations)",
+				e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.Iterations))
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries
+}
+
+// NewFile wraps entries in a File stamped with the current time and
+// toolchain.
+func NewFile(label string, entries []Entry) File {
+	return File{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Label:       label,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Entries:     entries,
+	}
+}
+
+// DefaultPath returns the conventional output path for a run recorded today:
+// BENCH_<yyyy-mm-dd>.json, with the label (if any) appended before the
+// extension.
+func DefaultPath(label string) string {
+	name := "BENCH_" + time.Now().UTC().Format("2006-01-02")
+	if label != "" {
+		name += "." + label
+	}
+	return name + ".json"
+}
+
+// Write persists f as indented JSON at path.
+func (f File) Write(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	return nil
+}
+
+// Load reads a previously written BENCH file.
+func Load(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, fmt.Errorf("bench: %w", err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return File{}, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Delta is the comparison of one benchmark between two recorded files.
+type Delta struct {
+	Name string
+	// Old/New are nil when the benchmark exists on only one side.
+	Old, New *Entry
+	// NsChange is the fractional ns/op change (new-old)/old, valid when both
+	// sides exist.
+	NsChange float64
+}
+
+// Compare matches two files' entries by name and computes per-benchmark
+// deltas, sorted by name.
+func Compare(old, new File) []Delta {
+	byName := func(f File) map[string]*Entry {
+		m := make(map[string]*Entry, len(f.Entries))
+		for i := range f.Entries {
+			m[f.Entries[i].Name] = &f.Entries[i]
+		}
+		return m
+	}
+	om, nm := byName(old), byName(new)
+	names := make(map[string]struct{})
+	for n := range om {
+		names[n] = struct{}{}
+	}
+	for n := range nm {
+		names[n] = struct{}{}
+	}
+	var out []Delta
+	for n := range names {
+		d := Delta{Name: n, Old: om[n], New: nm[n]}
+		if d.Old != nil && d.New != nil && d.Old.NsPerOp > 0 {
+			d.NsChange = (d.New.NsPerOp - d.Old.NsPerOp) / d.Old.NsPerOp
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RenderDeltas formats a Compare result as an aligned text table.
+func RenderDeltas(deltas []Delta) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %14s %14s %9s %16s\n", "benchmark", "old ns/op", "new ns/op", "ns %", "allocs old->new")
+	for _, d := range deltas {
+		switch {
+		case d.Old == nil:
+			fmt.Fprintf(&b, "%-16s %14s %14.0f %9s %16d\n", d.Name, "-", d.New.NsPerOp, "new", d.New.AllocsPerOp)
+		case d.New == nil:
+			fmt.Fprintf(&b, "%-16s %14.0f %14s %9s %16s\n", d.Name, d.Old.NsPerOp, "-", "gone", "-")
+		default:
+			fmt.Fprintf(&b, "%-16s %14.0f %14.0f %+8.1f%% %7d -> %d\n",
+				d.Name, d.Old.NsPerOp, d.New.NsPerOp, 100*d.NsChange, d.Old.AllocsPerOp, d.New.AllocsPerOp)
+		}
+	}
+	return b.String()
+}

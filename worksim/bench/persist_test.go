@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	f := NewFile("baseline", []Entry{
+		{Name: "tick-baseline", Iterations: 1000, NsPerOp: 5000, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "e1-run", Iterations: 100, NsPerOp: 8e6, BytesPerOp: 350000, AllocsPerOp: 1700},
+	})
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "baseline" || len(got.Entries) != 2 || got.Entries[1].Name != "e1-run" {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+}
+
+func TestCompareAndRender(t *testing.T) {
+	old := NewFile("", []Entry{
+		{Name: "tick", NsPerOp: 10000, AllocsPerOp: 50},
+		{Name: "gone", NsPerOp: 5},
+	})
+	new := NewFile("", []Entry{
+		{Name: "tick", NsPerOp: 5000, AllocsPerOp: 0},
+		{Name: "fresh", NsPerOp: 7},
+	})
+	deltas := Compare(old, new)
+	if len(deltas) != 3 {
+		t.Fatalf("deltas = %d, want 3", len(deltas))
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["tick"]; d.NsChange != -0.5 {
+		t.Fatalf("tick ns change = %v, want -0.5", d.NsChange)
+	}
+	if d := byName["gone"]; d.New != nil {
+		t.Fatal("removed benchmark should have nil New")
+	}
+	if d := byName["fresh"]; d.Old != nil {
+		t.Fatal("added benchmark should have nil Old")
+	}
+	out := RenderDeltas(deltas)
+	for _, want := range []string{"tick", "-50.0%", "new", "gone", "50 -> 0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered deltas missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCatalogLookup(t *testing.T) {
+	names := map[string]bool{}
+	for _, bm := range Catalog() {
+		if bm.Name == "" || bm.Fn == nil {
+			t.Fatalf("catalog entry malformed: %+v", bm)
+		}
+		if names[bm.Name] {
+			t.Fatalf("duplicate benchmark name %q", bm.Name)
+		}
+		names[bm.Name] = true
+	}
+	for _, want := range []string{"tick-baseline", "e1-run", "sweep-32seed"} {
+		if _, ok := Lookup(want); !ok {
+			t.Fatalf("catalog lost tracked benchmark %q (names are a stable contract)", want)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup invented a benchmark")
+	}
+}
+
+func TestDefaultPath(t *testing.T) {
+	if p := DefaultPath(""); !regexp.MustCompile(`^BENCH_\d{4}-\d{2}-\d{2}\.json$`).MatchString(p) {
+		t.Fatalf("default path %q", p)
+	}
+	if p := DefaultPath("baseline"); !strings.HasSuffix(p, ".baseline.json") {
+		t.Fatalf("labelled path %q", p)
+	}
+}

@@ -1,0 +1,157 @@
+package worksim_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/worksim"
+	"repro/worksim/event"
+)
+
+// streamRecorder captures the full typed event stream of a run in arrival
+// order, tagging each event with its virtual time for ordering checks.
+type streamRecorder struct {
+	ticks    []event.TickSnapshot
+	attacks  []event.AttackPhase
+	failsafe []event.SafetyEvent
+	unsafe   []event.SafetyEvent
+}
+
+func (r *streamRecorder) observer() event.Observer {
+	return &event.ObserverFuncs{
+		Tick:        func(t event.TickSnapshot) { r.ticks = append(r.ticks, t) },
+		AttackPhase: func(a event.AttackPhase) { r.attacks = append(r.attacks, a) },
+		Safety: func(s event.SafetyEvent) {
+			switch s.Kind {
+			case event.SafetyFailSafeEngaged, event.SafetyFailSafeReleased:
+				r.failsafe = append(r.failsafe, s)
+			case event.SafetyUnsafeEnter, event.SafetyUnsafeExit:
+				r.unsafe = append(r.unsafe, s)
+			}
+		},
+	}
+}
+
+// TestEventStreamInvariants drives every catalog scenario under both
+// security profiles and checks the structural invariants of the session
+// event stream:
+//
+//   - tick snapshots are strictly monotonic: N counts 1,2,3,... and virtual
+//     time strictly increases;
+//   - every AttackPhase start is matched by a stop of the same attack or by
+//     run-end, with no double-start, double-stop, or stop-before-start;
+//   - fail-safe latch events never interleave out of order: per latch
+//     (Detail), engaged and released strictly alternate starting engaged;
+//   - unsafe-episode boundaries (enter/exit) alternate the same way.
+func TestEventStreamInvariants(t *testing.T) {
+	const horizon = 4 * time.Minute
+	for _, name := range worksim.Catalog() {
+		for _, profile := range worksim.Profiles() {
+			name, profile := name, profile
+			t.Run(fmt.Sprintf("%s/%s", name, profile), func(t *testing.T) {
+				t.Parallel()
+				spec, err := worksim.Lookup(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prof, err := worksim.ResolveProfile(profile)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec := &streamRecorder{}
+				s, err := worksim.Open(spec,
+					worksim.WithSeed(7),
+					worksim.WithHorizon(horizon),
+					worksim.WithProfile(prof),
+					worksim.WithObserver(rec.observer()),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.Run(context.Background()); err != nil {
+					t.Fatal(err)
+				}
+
+				checkTickMonotonic(t, rec.ticks)
+				checkAttackPairing(t, rec.attacks)
+				checkAlternating(t, "fail-safe", rec.failsafe,
+					event.SafetyFailSafeEngaged, event.SafetyFailSafeReleased)
+				checkAlternating(t, "unsafe-episode", rec.unsafe,
+					event.SafetyUnsafeEnter, event.SafetyUnsafeExit)
+			})
+		}
+	}
+}
+
+func checkTickMonotonic(t *testing.T, ticks []event.TickSnapshot) {
+	t.Helper()
+	if len(ticks) == 0 {
+		t.Fatal("run published no tick snapshots")
+	}
+	for i, tick := range ticks {
+		if tick.N != i+1 {
+			t.Fatalf("tick %d has N=%d: tick numbers must count 1,2,3,...", i, tick.N)
+		}
+		if i > 0 && tick.At <= ticks[i-1].At {
+			t.Fatalf("tick %d at %v does not advance past previous tick at %v", tick.N, tick.At, ticks[i-1].At)
+		}
+	}
+}
+
+// checkAttackPairing verifies per-attack start/stop discipline: phases for
+// one attack name strictly alternate active/inactive beginning with a start,
+// and only a final unmatched start (an attack running to the horizon) may
+// remain open.
+func checkAttackPairing(t *testing.T, phases []event.AttackPhase) {
+	t.Helper()
+	active := map[string]bool{}
+	for i, p := range phases {
+		if i > 0 && p.At < phases[i-1].At {
+			t.Fatalf("attack phase %d (%s) at %v precedes phase %d at %v",
+				i, p.Attack, p.At, i-1, phases[i-1].At)
+		}
+		if p.Active {
+			if active[p.Attack] {
+				t.Fatalf("attack %q started twice without a stop", p.Attack)
+			}
+			active[p.Attack] = true
+		} else {
+			if !active[p.Attack] {
+				t.Fatalf("attack %q stopped without a matching start", p.Attack)
+			}
+			active[p.Attack] = false
+		}
+	}
+	// Anything still active ran to the horizon — that is the documented
+	// "stop or run-end" contract, so it is allowed.
+}
+
+// checkAlternating verifies that a latch-style event sequence strictly
+// alternates onKind/offKind per latch identity (Detail), starting with
+// onKind.
+func checkAlternating(t *testing.T, what string, events []event.SafetyEvent, onKind, offKind string) {
+	t.Helper()
+	on := map[string]bool{}
+	for i, e := range events {
+		if i > 0 && e.At < events[i-1].At {
+			t.Fatalf("%s event %d (%s %s) at %v precedes event %d at %v",
+				what, i, e.Kind, e.Detail, e.At, i-1, events[i-1].At)
+		}
+		switch e.Kind {
+		case onKind:
+			if on[e.Detail] {
+				t.Fatalf("%s %q engaged twice in a row (event %d)", what, e.Detail, i)
+			}
+			on[e.Detail] = true
+		case offKind:
+			if !on[e.Detail] {
+				t.Fatalf("%s %q released while not engaged (event %d)", what, e.Detail, i)
+			}
+			on[e.Detail] = false
+		default:
+			t.Fatalf("%s stream contains unexpected kind %q", what, e.Kind)
+		}
+	}
+}

@@ -24,3 +24,10 @@ func NewFigure(title, xLabel string) *Figure { return report.NewFigure(title, xL
 // FormatFloat renders a float the way tables and CSV exports do (handles
 // NaN, ±Inf and very large magnitudes deterministically).
 func FormatFloat(v float64) string { return report.FormatFloat(v) }
+
+// AddCountRows appends one "key, count" row per entry of counts in sorted
+// key order, so counter maps (Report.Alerts, Report.Radio) render
+// byte-identically on every run.
+func AddCountRows[V int | int64](t *Table, counts map[string]V) {
+	report.AddCountRows(t, counts)
+}

@@ -1,0 +1,71 @@
+package scenariospec_test
+
+import (
+	"testing"
+
+	"repro/worksim"
+	"repro/worksim/scenariospec"
+)
+
+// FuzzParseSpec fuzzes the public JSON scenario-spec parser. The seed corpus
+// is the real catalog (every named scenario, serialized by the spec's own
+// canonical encoder) plus structural edge cases, so the fuzzer starts from
+// the grammar production actually uses and mutates outward.
+//
+// Invariants checked on every accepted input:
+//   - the spec validates (Parse must never return an invalid spec),
+//   - it has a non-empty name (Parse defaults to "custom"),
+//   - it serializes, and re-parsing the serialization is a fixed point —
+//     the canonical JSON round-trips byte-identically.
+func FuzzParseSpec(f *testing.F) {
+	for _, name := range worksim.Catalog() {
+		spec, err := worksim.Lookup(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := spec.JSON()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	for _, s := range []string{
+		``, `{}`, `null`, `[]`, `{"name":"x"}`,
+		`{"workers":-1}`,
+		`{"attacks":[{"name":"gnss-spoof","startFrac":0.2,"stopFrac":0.8}]}`,
+		`{"attacks":[{"name":"nope"}]}`,
+		`{"attacks":[{"name":"gnss-spoof","startFrac":2}]}`,
+		`{"site":{"cols":0},"timing":{"tickPeriodNs":1}}`,
+		`{"weather":{"rain":0.5,"fog":1,"darkness":0},"drone":false,"profile":{"idsEnabled":true}}`,
+	} {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := scenariospec.Parse(data)
+		if err != nil {
+			return // rejected input: nothing further to hold
+		}
+		if spec.Name == "" {
+			t.Fatalf("accepted spec has empty name: %q", data)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("Parse returned an invalid spec (%v): %q", err, data)
+		}
+		canon, err := spec.JSON()
+		if err != nil {
+			t.Fatalf("accepted spec does not serialize (%v): %q", err, data)
+		}
+		again, err := scenariospec.Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse (%v): %s", err, canon)
+		}
+		canon2, err := again.JSON()
+		if err != nil {
+			t.Fatalf("re-parsed spec does not serialize (%v): %s", err, canon)
+		}
+		if string(canon) != string(canon2) {
+			t.Fatalf("canonical JSON is not a fixed point:\nfirst:  %s\nsecond: %s", canon, canon2)
+		}
+	})
+}
