@@ -71,7 +71,11 @@ func main() {
 	if *against != "" {
 		old, err := bench.Load(*against)
 		if err != nil {
-			fatalf("%v", err)
+			// A missing or unreadable baseline is not a benchmarking failure:
+			// the first run of a fresh checkout has nothing to diff against.
+			// Record the new results and skip the delta instead of failing.
+			fmt.Fprintf(os.Stderr, "bench: no usable baseline, skipping delta: %v\n", err)
+			return
 		}
 		fmt.Printf("\ndelta vs %s:\n%s", *against, bench.RenderDeltas(bench.Compare(old, f)))
 	}

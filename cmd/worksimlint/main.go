@@ -1,0 +1,85 @@
+// Command worksimlint runs the repository's static-analysis suite — the
+// four analyzers that make the simulator's core invariants structural:
+// determinism (no wall clock / ambient randomness / map-ordered output in
+// simulation packages), facadeboundary (cmd/ and examples/ use only the
+// public repro/worksim... façade; internal/ never imports it back),
+// ctxdiscipline (leading context.Context on exported blocking façade APIs;
+// //worksim:tickloop loops check cancellation), and hotpath (allocation
+// sources inside //worksim:hotpath functions).
+//
+// Usage:
+//
+//	worksimlint [packages]      # analyze packages (default ./...)
+//	worksimlint -list           # list the analyzers, then exit
+//	worksimlint -json           # machine-readable diagnostics
+//
+// Diagnostics print as file:line:col: [analyzer] message and any finding
+// makes the process exit 1, so `go run ./cmd/worksimlint ./...` doubles as
+// the CI gate. Suppress a deliberate exception at its line (or the line
+// above) with `//worksim:allow <reason>`.
+//
+// worksimlint deliberately imports only repro/internal/analysis: it is a
+// build-time tool, not a simulation client, so the facadeboundary rule
+// exempts nothing for it — it never touches the engine at all.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis" //worksim:allow build-time lint tool, not an engine client; the façade rule for cmd/ intentionally does not cover the linter itself
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list the analyzer suite, then exit")
+		jsonOut  = flag.Bool("json", false, "emit diagnostics as JSON")
+		exitZero = flag.Bool("exit-zero", false, "always exit 0 (report-only mode)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pkgs, err := analysis.Load(root, flag.Args()...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	diags, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "worksimlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		if !*exitZero {
+			os.Exit(1)
+		}
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "worksimlint: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,54 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func fixture(elem ...string) string {
+	return filepath.Join(append([]string{"testdata"}, elem...)...)
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	analysistest.Run(t, fixture("determinism", "sim"), analysis.Determinism)
+}
+
+func TestFacadeBoundaryCmdFixture(t *testing.T) {
+	analysistest.Run(t, fixture("facadeboundary", "cmdtool"), analysis.FacadeBoundary)
+}
+
+func TestFacadeBoundaryBackedgeFixture(t *testing.T) {
+	analysistest.Run(t, fixture("facadeboundary", "backedge"), analysis.FacadeBoundary)
+}
+
+func TestCtxDisciplineFixture(t *testing.T) {
+	analysistest.Run(t, fixture("ctxdiscipline", "facade"), analysis.CtxDiscipline)
+}
+
+func TestHotPathFixture(t *testing.T) {
+	analysistest.Run(t, fixture("hotpath", "hot"), analysis.HotPath)
+}
+
+// TestBareAllowDirective pins the auditability contract of the escape hatch:
+// a //worksim:allow without a reason is itself reported and suppresses
+// nothing, so the wall-clock read on the next line still surfaces.
+func TestBareAllowDirective(t *testing.T) {
+	pkg, err := analysis.LoadFixture(fixture("allowdirective", "bare"))
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{analysis.Determinism})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var names []string
+	for _, d := range diags {
+		names = append(names, d.Analyzer)
+	}
+	if len(diags) != 2 || diags[0].Analyzer != "allowdirective" || diags[1].Analyzer != "determinism" {
+		t.Fatalf("want [allowdirective determinism] (bare allow reported, wall-clock read not suppressed), got %v:\n%v", names, diags)
+	}
+}

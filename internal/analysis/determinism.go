@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the byte-reproducibility contract of the simulation
+// packages (repro/internal/... and repro/worksim...):
+//
+//   - no wall clock: time.Now and time.Since read host time, so two runs of
+//     the same seed could diverge. Simulated components take time from
+//     internal/simclock.
+//   - no ambient randomness: math/rand is importable only by internal/rng,
+//     which derives named, seed-stable streams; crypto/rand only by
+//     internal/pki and internal/securechan, which accept a deterministic
+//     reader for reproducible runs.
+//   - no map-ordered output: iterating a map while printing, encoding JSON
+//     or building report tables leaks Go's randomized map order into
+//     artifacts that must be byte-identical across runs.
+//
+// Legitimate exceptions (wall-clock provenance stamps, host-timing metrics)
+// carry a //worksim:allow <reason> directive.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads, ambient randomness and map-ordered output " +
+		"in the simulation packages, so every run stays byte-reproducible",
+	Run: runDeterminism,
+}
+
+// rng/pki/securechan own the randomness seams the rest of the tree must go
+// through.
+var (
+	mathRandImporters   = map[string]bool{"repro/internal/rng": true}
+	cryptoRandImporters = map[string]bool{
+		"repro/internal/pki":        true,
+		"repro/internal/securechan": true,
+	}
+)
+
+// simulationPackage reports whether path is inside the determinism
+// perimeter. The analysis tooling itself is exempt: it is a build-time
+// checker, not part of any simulated run.
+func simulationPackage(path string) bool {
+	if path == "repro/internal/analysis" || strings.HasPrefix(path, "repro/internal/analysis/") {
+		return false
+	}
+	return strings.HasPrefix(path, "repro/internal/") ||
+		path == "repro/worksim" || strings.HasPrefix(path, "repro/worksim/")
+}
+
+func runDeterminism(pass *Pass) error {
+	if !simulationPackage(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			switch path := importPath(imp); path {
+			case "math/rand", "math/rand/v2":
+				if !mathRandImporters[pass.Path] {
+					pass.Reportf(imp.Pos(), "import %s: ambient randomness breaks reproducibility; derive a named stream from repro/internal/rng", path)
+				}
+			case "crypto/rand":
+				if !cryptoRandImporters[pass.Path] {
+					pass.Reportf(imp.Pos(), "import crypto/rand: system entropy breaks reproducibility outside internal/pki and internal/securechan; inject a deterministic reader instead")
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := pkgFuncCall(pass.Info, n, "time"); ok && (name == "Now" || name == "Since") {
+					pass.Reportf(n.Pos(), "time.%s reads the wall clock; simulated time comes from internal/simclock (Scheduler.Now)", name)
+				}
+			case *ast.RangeStmt:
+				checkMapRangeOutput(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRangeOutput flags a range over a map whose body feeds output
+// directly — printing, JSON encoding or report building — because map
+// iteration order is randomized per process.
+func checkMapRangeOutput(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	reported := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		// Function literals run later, outside the iteration, so output
+		// inside them is not ordered by this loop.
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg := calleePackage(pass.Info, call); outputPackage(pkg) {
+			pass.Reportf(rng.Pos(), "map iteration order is randomized and this loop feeds output (%s); iterate sorted keys instead", pkg)
+			reported = true
+			return false
+		}
+		return true
+	})
+}
+
+// outputPackage reports whether calls into pkg emit run artifacts whose byte
+// order matters.
+func outputPackage(pkg string) bool {
+	switch pkg {
+	case "fmt", "encoding/json":
+		return true
+	}
+	return strings.HasSuffix(pkg, "/report")
+}
+
+// pkgFuncCall matches a call of the form pkgname.Func where pkgname is an
+// import of pkgPath, returning the function name.
+func pkgFuncCall(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || info == nil {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// calleePackage resolves the package path of a call's callee, or "" when it
+// is not a package-level function or method of a named package (builtins,
+// locals, etc.).
+func calleePackage(info *types.Info, call *ast.CallExpr) string {
+	if info == nil {
+		return ""
+	}
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// importPath unquotes an import spec path, tolerating malformed specs.
+func importPath(imp *ast.ImportSpec) string {
+	s := imp.Path.Value
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// FacadeBoundary is the import-graph analyzer behind the repository's API
+// boundary, replacing the earlier reflective TestFacadeBoundary walk:
+//
+//   - binaries (repro/cmd/...) and examples (repro/examples/...) may reach
+//     the engine only through the public façade, repro/worksim...; a direct
+//     repro/internal/... import silently erodes the only stable surface.
+//   - internal packages must not import repro/worksim... back: the façade
+//     wraps the engine, so the reverse edge is a layering cycle waiting to
+//     happen (and defeats the point of internal/ being swappable).
+//
+// The check is purely syntactic — import declarations and the package's own
+// import path — so it also runs on packages that do not type-check yet.
+var FacadeBoundary = &Analyzer{
+	Name: "facadeboundary",
+	Doc: "restrict repro/cmd and repro/examples to the public repro/worksim... " +
+		"façade, and keep internal/ from importing the façade back",
+	Run: runFacadeBoundary,
+}
+
+func runFacadeBoundary(pass *Pass) error {
+	consumer := strings.HasPrefix(pass.Path, "repro/cmd/") ||
+		strings.HasPrefix(pass.Path, "repro/examples/")
+	internal := pass.Path == "repro/internal" || strings.HasPrefix(pass.Path, "repro/internal/")
+	if !consumer && !internal {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := importPath(imp)
+			facade := path == "repro/worksim" || strings.HasPrefix(path, "repro/worksim/")
+			switch {
+			case consumer && strings.HasPrefix(path, "repro/") && !facade:
+				pass.Reportf(imp.Pos(), "import %s: cmd/ and examples/ must reach the engine only through the public repro/worksim... façade", path)
+			case internal && facade:
+				pass.Reportf(imp.Pos(), "import %s: internal packages must not import the public façade (worksim wraps internal, never the reverse)", path)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPath screens functions annotated //worksim:hotpath — the steady-state
+// tick path locked at zero heap allocations by TestTickLoopZeroAllocs — for
+// the allocation sources that regress that invariant, so a regression is
+// reported at the offending line instead of as an opaque AllocsPerRun count:
+//
+//   - closure literals: the func value and its captured variables escape.
+//   - fmt calls and non-constant string concatenation: formatting builds
+//     new strings on the heap.
+//   - make/new/&T{...}: direct heap construction; hot-path state lives in
+//     pooled or scratch objects.
+//   - interface boxing at call sites: passing a non-pointer-shaped value
+//     (struct, string, int, slice) to an interface parameter allocates the
+//     boxed copy. Pointers, channels, maps and funcs are word-sized and box
+//     for free, so they pass.
+//   - append to anything but the self-assigned scratch pattern
+//     (x = append(x, ...) / x = append(x[:0], ...)): growing a fresh slice
+//     allocates every call.
+//
+// Deliberate cold branches inside hot functions (pool warm-up, error exits)
+// carry //worksim:allow <reason>.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc: "flag allocation sources (closures, fmt, string concat, make/new, " +
+		"interface boxing, non-scratch append) inside //worksim:hotpath functions",
+	Run: runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !HasDirective(fn.Doc, HotpathDirective) {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	selfAppends := collectSelfAppends(fn.Body)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal in hot path: the func value and captured variables allocate; hoist to a method or pooled simclock.Task")
+			return false // the literal's body runs elsewhere; one finding suffices
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal allocates in hot path; reuse a pooled or scratch object")
+				}
+			}
+		case *ast.BinaryExpr:
+			checkStringConcat(pass, n)
+		case *ast.CallExpr:
+			checkHotCall(pass, n, selfAppends)
+		}
+		return true
+	})
+}
+
+func checkStringConcat(pass *Pass, n *ast.BinaryExpr) {
+	if n.Op.String() != "+" || pass.Info == nil {
+		return
+	}
+	tv, ok := pass.Info.Types[n]
+	if !ok || tv.Value != nil { // constant-folded concatenation is free
+		return
+	}
+	if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+		pass.Reportf(n.Pos(), "string concatenation allocates in hot path; precompute the string or use a reused byte buffer")
+	}
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr, selfAppends map[*ast.CallExpr]bool) {
+	if name, ok := pkgFuncCall(pass.Info, call, "fmt"); ok {
+		pass.Reportf(call.Pos(), "fmt.%s allocates in hot path (formatting and argument boxing); hot-path strings must be precomputed", name)
+		return
+	}
+	switch builtinName(pass.Info, call) {
+	case "append":
+		if !selfAppends[call] {
+			pass.Reportf(call.Pos(), "append outside the scratch pattern allocates when the slice grows; write x = append(x, ...) or x = append(x[:0], ...) on a reused buffer")
+		}
+		return
+	case "make", "new":
+		pass.Reportf(call.Pos(), "%s allocates in hot path; construct scratch storage at commissioning time and reuse it", builtinName(pass.Info, call))
+		return
+	case "":
+		// Not a builtin: fall through to the boxing check.
+	default:
+		return // len, cap, copy, delete, ... are allocation-free
+	}
+	checkInterfaceBoxing(pass, call)
+}
+
+// collectSelfAppends records append calls in the amortized scratch form
+// `x = append(x, ...)` or `x = append(x[:0], ...)` (also `x := append(x...)`
+// shadowing and multi-assign positions), keyed by call node.
+func collectSelfAppends(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	ok := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, isCall := rhs.(*ast.CallExpr)
+			if !isCall || len(call.Args) == 0 {
+				continue
+			}
+			if types.ExprString(sliceCore(call.Args[0])) == types.ExprString(as.Lhs[i]) {
+				ok[call] = true
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// sliceCore unwraps slicing and parens: s[:0] -> s, (s) -> s.
+func sliceCore(e ast.Expr) ast.Expr {
+	for {
+		switch ee := e.(type) {
+		case *ast.SliceExpr:
+			e = ee.X
+		case *ast.ParenExpr:
+			e = ee.X
+		default:
+			return e
+		}
+	}
+}
+
+// builtinName returns the name of the builtin a call invokes, or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || info == nil {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// checkInterfaceBoxing flags arguments whose passing converts a
+// non-pointer-shaped concrete value into an interface parameter.
+func checkInterfaceBoxing(pass *Pass, call *ast.CallExpr) {
+	if pass.Info == nil {
+		return
+	}
+	funTV, ok := pass.Info.Types[call.Fun]
+	if !ok || funTV.IsType() { // conversions are checked elsewhere
+		return
+	}
+	sig, ok := funTV.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			param = params.At(i).Type()
+		case sig.Variadic() && !call.Ellipsis.IsValid():
+			slice, isSlice := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !isSlice {
+				continue
+			}
+			param = slice.Elem()
+		default:
+			continue // f(xs...) passes the slice through unboxed
+		}
+		if _, isIface := param.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		argTV, ok := pass.Info.Types[arg]
+		if !ok || argTV.Type == nil || argTV.IsNil() {
+			continue
+		}
+		if boxingFree(argTV.Type) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing %s to interface parameter boxes the value (allocates); pass a pointer-shaped value or a typed API", argTV.Type)
+	}
+}
+
+// boxingFree reports whether converting t to an interface needs no
+// allocation: interfaces themselves, and word-sized pointer-shaped kinds.
+func boxingFree(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,33 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestRepoLintClean runs the full analyzer suite over the whole module and
+// requires zero findings — the same gate CI applies via cmd/worksimlint. It
+// subsumes the old reflective façade-boundary walk: an eroding import, a
+// wall-clock read on a simulated path or a deleted tick-loop cancellation
+// check all fail this test with a file:line diagnostic.
+func TestRepoLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,12 @@
+//worksimtest:importpath repro/internal/fixture/bare
+
+// Package bare carries a reasonless //worksim:allow, which must itself be
+// reported and must not suppress the diagnostic on the next line.
+package bare
+
+import "time"
+
+func stamp() time.Time {
+	//worksim:allow
+	return time.Now()
+}

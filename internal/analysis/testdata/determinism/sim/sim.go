@@ -1,0 +1,40 @@
+//worksimtest:importpath repro/internal/fixture/sim
+
+// Package sim is a determinism fixture: a pretend simulation package that
+// reads the wall clock, imports ambient randomness and feeds map iteration
+// into output.
+package sim
+
+import (
+	"fmt"
+	"math/rand" // want `ambient randomness breaks reproducibility`
+	"time"
+)
+
+// Tick reads host time twice on the simulated path.
+func Tick() time.Duration {
+	start := time.Now() // want `time\.Now reads the wall clock`
+	_ = rand.Int()
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// Stamp carries a justified suppression, so no diagnostic may surface.
+func Stamp() time.Time {
+	return time.Now() //worksim:allow fixture: provenance stamp recorded outside any simulated run
+}
+
+// Dump leaks randomized map order straight into printed output.
+func Dump(m map[string]int) {
+	for k, v := range m { // want `map iteration order is randomized`
+		fmt.Println(k, v)
+	}
+}
+
+// Collect ranges over a map without producing output, which is fine.
+func Collect(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

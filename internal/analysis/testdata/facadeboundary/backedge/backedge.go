@@ -1,0 +1,9 @@
+//worksimtest:importpath repro/internal/fixture/backedge
+
+// Package backedge is a facadeboundary fixture: an internal package
+// importing the public façade back, inverting the layering.
+package backedge
+
+import (
+	_ "repro/worksim" // want `internal packages must not import the public façade`
+)

@@ -1,0 +1,14 @@
+//worksimtest:importpath repro/cmd/fixturetool
+
+// Command fixturetool is a facadeboundary fixture: a binary reaching around
+// the public façade into engine internals.
+package main
+
+import (
+	_ "repro/internal/worksite" // want `must reach the engine only through the public repro/worksim`
+	_ "repro/worksim"
+
+	_ "repro/internal/analysis" //worksim:allow fixture: build-time tooling import, the documented exception cmd/worksimlint itself uses
+)
+
+func main() {}

@@ -1,0 +1,55 @@
+//worksimtest:importpath repro/internal/fixture/hot
+
+// Package hot exercises the hotpath analyzer over an annotated tick
+// function, a suppressed pool warm-up and an unannotated control.
+package hot
+
+import "fmt"
+
+type state struct {
+	scratch []int
+	free    []*state
+}
+
+func box(v interface{}) { _ = v }
+
+//worksim:hotpath
+func (s *state) tick(values []int) {
+	s.scratch = s.scratch[:0]
+	for _, v := range values {
+		s.scratch = append(s.scratch, v) // scratch pattern: clean
+	}
+	grown := append(values, 1) // want `append outside the scratch pattern`
+	_ = grown
+	hook := func() {} // want `closure literal in hot path`
+	_ = hook
+	buf := make([]int, 4) // want `make allocates in hot path`
+	_ = buf
+}
+
+//worksim:hotpath
+func (s *state) emit(n int, pn *int) {
+	box(n) // want `boxes the value`
+	box(pn)
+}
+
+//worksim:hotpath
+func label(name string) string {
+	msg := name + ":"             // want `string concatenation allocates`
+	return fmt.Sprintf("%q", msg) // want `fmt\.Sprintf allocates in hot path`
+}
+
+//worksim:hotpath
+func (s *state) get() *state {
+	if n := len(s.free); n > 0 {
+		st := s.free[n-1]
+		s.free = s.free[:n-1]
+		return st
+	}
+	return &state{} //worksim:allow fixture: pool warm-up, runs once per capacity step
+}
+
+// cold is unannotated: the same constructs pass unflagged.
+func cold() []int {
+	return append(make([]int, 0, 4), 1)
+}

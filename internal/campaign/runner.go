@@ -130,6 +130,7 @@ func Run(ctx context.Context, exp Experiment, opts Options) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			//worksim:tickloop
 			for {
 				if ctx.Err() != nil {
 					return

@@ -180,7 +180,7 @@ func E9SecureSubstrate(seed int64, records int) (E9Result, error) {
 
 	if records > 0 {
 		payload := make([]byte, 256)
-		start := time.Now()
+		start := time.Now() //worksim:allow host-throughput benchmark: RecordsPerSec measures wall time by design and the campaign path skips it (records = 0)
 		for i := 0; i < records; i++ {
 			rec, err := init.Seal(payload)
 			if err != nil {
@@ -190,7 +190,7 @@ func E9SecureSubstrate(seed int64, records int) (E9Result, error) {
 				return E9Result{}, fmt.Errorf("e9 open: %w", err)
 			}
 		}
-		el := time.Since(start).Seconds()
+		el := time.Since(start).Seconds() //worksim:allow host-throughput benchmark: wall-clock elapsed is the measurement itself
 		if el > 0 {
 			res.RecordsPerSec = float64(records) / el
 		}
@@ -374,7 +374,7 @@ func E9aRekeySweep(seed int64) (*report.Table, error) {
 		}
 		payload := make([]byte, 256)
 		const records = 4000
-		start := time.Now()
+		start := time.Now() //worksim:allow host-throughput benchmark: the E9a ablation measures wall-clock records/sec by design
 		for i := 0; i < records; i++ {
 			rec, err := init.Seal(payload)
 			if err != nil {
@@ -384,7 +384,7 @@ func E9aRekeySweep(seed int64) (*report.Table, error) {
 				return nil, fmt.Errorf("e9a open: %w", err)
 			}
 		}
-		el := time.Since(start).Seconds()
+		el := time.Since(start).Seconds() //worksim:allow host-throughput benchmark: wall-clock elapsed is the measurement itself
 		rate := math.Inf(1)
 		if el > 0 {
 			rate = records / el

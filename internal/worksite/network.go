@@ -294,6 +294,7 @@ func (s *Site) wireMessageHandlers() {
 	}
 }
 
+//worksim:hotpath
 func (s *Site) ingestIDS(ev ids.Event) {
 	if s.engine != nil {
 		s.engine.Ingest(ev)
@@ -328,6 +329,8 @@ func (s *Site) associateLinks() error {
 // json.Marshal's bytes plus a trailing newline (trimmed below), and the
 // adapter copies the payload into its own frame storage before Transmit
 // returns, so the buffer is free for the next message immediately.
+//
+//worksim:hotpath
 func (s *Site) send(from, to radio.NodeID, msg wireMsg) {
 	s.sendScratch = msg
 	s.sendBuf.Reset()
@@ -361,6 +364,8 @@ func (s *Site) send(from, to radio.NodeID, msg wireMsg) {
 
 // handleAppPayload authenticates (when secured) and dispatches an inbound
 // application message at the receiving node.
+//
+//worksim:hotpath
 func (s *Site) handleAppPayload(local, from radio.NodeID, payload []byte) {
 	if s.cfg.Profile.SecureChannels {
 		ch := s.channels[chanKey{local, from}]
@@ -405,6 +410,7 @@ func (s *Site) handleAppPayload(local, from radio.NodeID, payload []byte) {
 	s.dispatch(local, from, *msg)
 }
 
+//worksim:hotpath
 func (s *Site) dispatch(local, from radio.NodeID, msg wireMsg) {
 	switch {
 	case local == NodeForwarder && msg.Type == "heartbeat":

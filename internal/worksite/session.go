@@ -136,6 +136,7 @@ func (se *Session) RunFor(ctx context.Context, d time.Duration) error {
 		// exactly the pre-context execution path.
 		return se.advanceTo(target)
 	}
+	//worksim:tickloop
 	for se.elapsed < target {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -172,6 +173,7 @@ func (se *Session) RunUntil(ctx context.Context, stop func(Tick) bool) (bool, er
 		return false, se.RunFor(ctx, se.horizon-se.elapsed)
 	}
 	cancellable := ctx.Done() != nil
+	//worksim:tickloop
 	for {
 		if cancellable {
 			if err := ctx.Err(); err != nil {

@@ -66,7 +66,7 @@ func Run(filter *regexp.Regexp, progress func(string)) []Entry {
 // toolchain.
 func NewFile(label string, entries []Entry) File {
 	return File{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339), //worksim:allow provenance stamp: records when the benchmark ran; never compared between runs
 		Label:       label,
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
@@ -79,7 +79,7 @@ func NewFile(label string, entries []Entry) File {
 // BENCH_<yyyy-mm-dd>.json, with the label (if any) appended before the
 // extension.
 func DefaultPath(label string) string {
-	name := "BENCH_" + time.Now().UTC().Format("2006-01-02")
+	name := "BENCH_" + time.Now().UTC().Format("2006-01-02") //worksim:allow provenance: the conventional BENCH_<date> filename carries the run date
 	if label != "" {
 		name += "." + label
 	}

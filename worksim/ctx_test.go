@@ -12,10 +12,33 @@ import (
 	"repro/worksim/event"
 )
 
+// checkGoroutineLeak snapshots the live goroutine count and returns a
+// function to defer: it fails the test if, after a settle window, more
+// goroutines are alive than at the snapshot — catching workers that outlive
+// a cancelled call. The settle loop tolerates runtime-internal goroutines
+// that take a moment to park; only a stable surplus is a leak.
+func checkGoroutineLeak(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d before, %d still running after settle window", before, runtime.NumGoroutine())
+	}
+}
+
 // TestRunForCancelMidRun cancels the context from an observer during the
 // run: RunFor must stop before the next control tick executes and return
 // context.Canceled, leaving the session intact at the last completed tick.
+// The leak check confirms cancellation leaves no goroutine behind.
 func TestRunForCancelMidRun(t *testing.T) {
+	defer checkGoroutineLeak(t)()
 	const cancelAt = time.Minute
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -127,7 +150,7 @@ func TestNeverFiredContextByteIdentical(t *testing.T) {
 // -race (CI does) this also exercises the pool's cancellation paths for
 // data races.
 func TestSweepCancelDrainsWorkers(t *testing.T) {
-	before := runtime.NumGoroutine()
+	defer checkGoroutineLeak(t)()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	time.AfterFunc(50*time.Millisecond, cancel)
@@ -140,17 +163,6 @@ func TestSweepCancelDrainsWorkers(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
 	}
-
-	// The pool must have drained: give lingering goroutines (if the drain
-	// were broken) a grace window to show up as a stable leak.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= before {
-			return
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	t.Fatalf("goroutines did not drain after cancelled sweep: before=%d after=%d", before, runtime.NumGoroutine())
 }
 
 // TestSweepNeverFiredContextByteIdentical: the sweep JSON export is
