@@ -1,0 +1,112 @@
+// Command worksimd serves the worksite simulation as a long-running JSON/REST
+// daemon: submit runs and sweeps, poll their state, stream the typed event
+// feed live over Server-Sent Events, and fetch final reports that are
+// byte-identical to an in-process worksim run at the same parameters.
+//
+// Usage:
+//
+//	worksimd [-addr :8080] [-api-keys FILE] [-rate 20] [-burst 40]
+//	         [-max-jobs 8] [-event-buffer 4096] [-drain-timeout 15s] [-quiet]
+//	worksimd -version
+//
+// API keys come from -api-keys (one key per line, # comments) or the
+// WORKSIMD_API_KEYS environment variable (comma-separated); with neither,
+// the daemon serves unauthenticated. Clients present a key as
+// `Authorization: Bearer <key>` or `X-API-Key`.
+//
+// Quickstart:
+//
+//	worksimd -addr 127.0.0.1:8080 &
+//	curl -s localhost:8080/v1/scenarios
+//	curl -s -X POST localhost:8080/v1/runs -d '{"scenario":"gnss-spoof","profile":"secured","horizonNs":240000000000}'
+//	curl -s localhost:8080/v1/runs/r-000001               # poll state / fetch report
+//	curl -sN localhost:8080/v1/runs/r-000001/events       # live SSE event stream
+//	curl -s -X DELETE localhost:8080/v1/runs/r-000001     # cancel
+//
+// The daemon prints its bound address on stdout once listening (useful with
+// -addr :0), logs structured JSON lines to stderr, and drains gracefully on
+// SIGINT/SIGTERM: it stops accepting work, waits out in-flight jobs up to
+// -drain-timeout, cancels the stragglers between control ticks, and exits 0
+// on a clean drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/worksim"
+	"repro/worksim/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "worksimd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (\":0\" picks a free port, printed on stdout)")
+		apiKeysFile  = flag.String("api-keys", "", "API key file: one key per line, # comments ("+serve.EnvAPIKeys+" env var used when unset)")
+		rate         = flag.Float64("rate", 0, "per-key request rate limit in requests/sec (0 = default, negative disables)")
+		burst        = flag.Int("burst", 0, "per-key token-bucket burst capacity (0 = default)")
+		maxJobs      = flag.Int("max-jobs", 0, "max concurrently active run+sweep jobs, 429 beyond (0 = default, negative disables)")
+		eventBuffer  = flag.Int("event-buffer", 0, "per-run SSE replay ring capacity in events (0 = default)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "how long drain waits for in-flight jobs before cancelling them")
+		quiet        = flag.Bool("quiet", false, "suppress the structured request log on stderr")
+		version      = flag.Bool("version", false, "print the worksim version and exit")
+	)
+	flag.Parse()
+
+	if *version {
+		fmt.Println("worksimd", worksim.Version)
+		return nil
+	}
+
+	keys := serve.APIKeysFromEnv()
+	if *apiKeysFile != "" {
+		var err error
+		if keys, err = serve.LoadAPIKeysFile(*apiKeysFile); err != nil {
+			return err
+		}
+	}
+
+	var logSink io.Writer = os.Stderr
+	if *quiet {
+		logSink = io.Discard
+	}
+	logger := slog.New(slog.NewJSONHandler(logSink, nil))
+
+	srv := serve.New(serve.Config{
+		APIKeys:           keys,
+		RatePerSec:        *rate,
+		Burst:             *burst,
+		MaxConcurrentJobs: *maxJobs,
+		EventBuffer:       *eventBuffer,
+		DrainTimeout:      *drainTimeout,
+		Logger:            logger,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	mode := "open (no API keys configured)"
+	if len(keys) > 0 {
+		mode = fmt.Sprintf("%d API key(s)", len(keys))
+	}
+	return srv.ListenAndServe(ctx, *addr, func(bound net.Addr) {
+		// The address line is machine-readable on purpose: scripts that
+		// start worksimd on ":0" parse it to find the port.
+		fmt.Printf("worksimd %s listening on http://%s (%s)\n", worksim.Version, bound, mode)
+		logger.Info("listening", "addr", bound.String(), "auth", mode)
+	})
+}

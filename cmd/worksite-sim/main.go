@@ -29,7 +29,6 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -42,8 +41,8 @@ import (
 	"time"
 
 	"repro/worksim"
-	"repro/worksim/event"
 	"repro/worksim/report"
+	"repro/worksim/trace"
 )
 
 func main() {
@@ -110,21 +109,21 @@ func run() error {
 			return err
 		}
 	}
-	// Flush even on a failed run — the buffered tail of the trace is the
-	// most diagnostic part — but never mask the run error with a flush one.
-	defer func() { _ = closeTrace() }()
 	if *showMap {
 		fmt.Print(sess.RenderMap(100))
 		fmt.Println()
 	}
-	rep, err := sess.Run(ctx)
-	if err != nil {
+	rep, runErr := sess.Run(ctx)
+	// Flush the event stream unconditionally — on cancellation the buffered
+	// tail of the trace is the most diagnostic part, and flushing before any
+	// report rendering keeps a stdout trace from interleaving with the
+	// tables. A SIGINT mid-run therefore never truncates the last event
+	// line. The run error still wins over a flush error.
+	if err := closeTrace(); err != nil && runErr == nil {
 		return err
 	}
-	// Flush the event stream before any report rendering so a stdout trace
-	// is never interleaved with the tables.
-	if err := closeTrace(); err != nil {
-		return err
+	if runErr != nil {
+		return runErr
 	}
 	if *showMap {
 		fmt.Print(sess.RenderMap(100))
@@ -143,9 +142,11 @@ func run() error {
 	return nil
 }
 
-// subscribeTrace attaches a JSON-lines event writer to the session. Every
-// typed event becomes one line: {"event": KIND, "data": {...}}. The
-// returned func flushes (and closes, for files) the sink.
+// subscribeTrace attaches the shared JSON-lines event writer
+// (worksim/trace — the same encoder behind worksimd's SSE stream) to the
+// session. Every typed event becomes one line: {"event": KIND, "data":
+// {...}}. The returned func flushes (and closes, for files) the sink; it is
+// idempotent, so callers can flush on every exit path without bookkeeping.
 func subscribeTrace(sess *worksim.Session, path string) (func() error, error) {
 	var (
 		sink io.Writer
@@ -160,28 +161,15 @@ func subscribeTrace(sess *worksim.Session, path string) (func() error, error) {
 		}
 		file, sink = f, f
 	}
-	w := bufio.NewWriter(sink)
-	enc := json.NewEncoder(w)
-	emit := func(kind string, data any) {
-		_ = enc.Encode(struct {
-			Event string `json:"event"`
-			Data  any    `json:"data"`
-		}{kind, data})
-	}
-	sess.Subscribe(&event.ObserverFuncs{
-		Tick:             func(e event.TickSnapshot) { emit(e.EventKind(), e) },
-		Alert:            func(e event.AlertRaised) { emit(e.EventKind(), e) },
-		AttackPhase:      func(e event.AttackPhase) { emit(e.EventKind(), e) },
-		SecurityResponse: func(e event.SecurityResponse) { emit(e.EventKind(), e) },
-		ModeChange:       func(e event.ModeChange) { emit(e.EventKind(), e) },
-		MissionPhase:     func(e event.MissionPhase) { emit(e.EventKind(), e) },
-		Safety:           func(e event.SafetyEvent) { emit(e.EventKind(), e) },
-	})
+	w := trace.NewWriter(sink)
+	sess.Subscribe(w.Observer())
+	closed := false
 	return func() error {
 		if err := w.Flush(); err != nil {
 			return err
 		}
-		if file != nil {
+		if file != nil && !closed {
+			closed = true
 			return file.Close()
 		}
 		return nil

@@ -26,6 +26,14 @@
 //     the Monte-Carlo campaign engine with statistical aggregation.
 //   - worksim/report — the table/figure rendering primitives all artifacts
 //     share.
+//   - worksim/trace — the JSON-lines encoding of the event stream
+//     ({"event": KIND, "data": {...}}), shared verbatim by `worksite-sim
+//     -trace` files and the worksimd SSE payload.
+//   - worksim/serve — simulation-as-a-service: the HTTP server behind
+//     cmd/worksimd with asynchronous run/sweep jobs, live SSE event
+//     streaming with replay, API-key auth, per-key rate limiting, job
+//     quotas and graceful drain. A daemon run's report is byte-identical
+//     to an in-process worksim run at the same parameters.
 //   - worksim/bench — the tracked benchmark harness: a named catalog of
 //     micro/macro benchmarks (single tick, full E1 run, 32-seed sweep) that
 //     cmd/bench persists as BENCH_<date>.json so the hot path's performance
@@ -42,7 +50,9 @@
 // surface ctx.Err(); a context that never fires yields byte-identical
 // results to an uncancellable run, so determinism and cancellability
 // compose. The cmd/ binaries install signal-driven cancellation, so Ctrl-C
-// stops a simulation at the next tick with the worker pool drained.
+// stops a simulation at the next tick with the worker pool drained; the
+// worksimd daemon drains the same way, cancelling in-flight jobs between
+// ticks once its drain deadline passes.
 //
 // Everything under internal/ is engine: free to evolve, reachable only
 // through the façade. The cmd/ binaries and examples/ import exclusively

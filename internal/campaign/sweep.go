@@ -37,6 +37,12 @@ type SweepOptions struct {
 	// EarlyStop nil, sweep output is byte-identical to a sweep without
 	// session instrumentation, across any Parallel width.
 	EarlyStop func(worksite.TickSnapshot) bool
+	// OnRunDone, when non-nil, is invoked once after every completed
+	// (scenario, profile, seed) run — the progress seam async consumers
+	// (the worksimd daemon) count seeds with. It is called from pool
+	// worker goroutines and must be safe for concurrent use; it observes
+	// progress only and must not influence results.
+	OnRunDone func()
 }
 
 // TimePoint is one downsampled sample of a run's per-tick timeseries — the
@@ -185,7 +191,16 @@ func Sweep(ctx context.Context, opts SweepOptions) (*SweepResult, error) {
 // instrumented path drives a session tick by tick, so the two are the same
 // simulation advanced in different strides — deterministically identical
 // when no predicate cuts the run short.
-func runSweepCell(ctx context.Context, spec scenario.Spec, p Params, opts SweepOptions) (Outcome, error) {
+func runSweepCell(ctx context.Context, spec scenario.Spec, p Params, opts SweepOptions) (out Outcome, err error) {
+	if opts.OnRunDone != nil {
+		// Count completed runs only: a failed or cancelled run is not
+		// progress.
+		defer func() {
+			if err == nil {
+				opts.OnRunDone()
+			}
+		}()
+	}
 	if opts.SampleEvery <= 0 && opts.EarlyStop == nil {
 		rep, err := scenario.Run(ctx, spec, p.Seed, p.Duration)
 		if err != nil {
@@ -206,7 +221,7 @@ func runSweepCell(ctx context.Context, spec scenario.Spec, p Params, opts SweepO
 	if err != nil {
 		return Outcome{}, err
 	}
-	out := Outcome{Metrics: SweepMetrics(sess.Report()), Timeseries: series}
+	out = Outcome{Metrics: SweepMetrics(sess.Report()), Timeseries: series}
 	if stopped {
 		out.StoppedAt = sess.Now()
 	}

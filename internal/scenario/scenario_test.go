@@ -3,6 +3,7 @@ package scenario
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"reflect"
 	"sort"
 	"strings"
@@ -246,5 +247,118 @@ func TestBaselineMatchesWorksiteDefault(t *testing.T) {
 	want := worksite.DefaultConfig(99)
 	if got != want {
 		t.Fatalf("Baseline().Config drifted from worksite.DefaultConfig:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestParseSpecHardening is the table-driven error-path suite over the
+// hardened Parse: declared horizons must be positive, attack schedule
+// entries must be unique per class, and every rejection is a typed
+// *SpecError naming the offending field — the contract the worksimd daemon
+// relies on to answer HTTP 422 with a field pointer.
+func TestParseSpecHardening(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		// field is the expected SpecError.Field; empty means the document
+		// must parse cleanly.
+		field string
+		// reason is a substring of the expected SpecError.Reason.
+		reason string
+	}{
+		{
+			name: "positive declared horizon accepted",
+			doc:  `{"horizonNs": 60000000000}`,
+		},
+		{
+			name: "undeclared horizon accepted",
+			doc:  `{}`,
+		},
+		{
+			name:   "zero declared horizon rejected",
+			doc:    `{"horizonNs": 0}`,
+			field:  "horizonNs",
+			reason: "must be positive",
+		},
+		{
+			name:   "negative declared horizon rejected",
+			doc:    `{"horizonNs": -1}`,
+			field:  "horizonNs",
+			reason: "must be positive",
+		},
+		{
+			name: "distinct attack classes accepted",
+			doc:  `{"attacks":[{"name":"gnss-jam","startFrac":0.1,"stopFrac":0.3},{"name":"gnss-spoof","startFrac":0.5,"stopFrac":0.7}]}`,
+		},
+		{
+			name:   "duplicate attack schedule names rejected",
+			doc:    `{"attacks":[{"name":"gnss-jam","startFrac":0.1,"stopFrac":0.3},{"name":"gnss-jam","startFrac":0.5,"stopFrac":0.7}]}`,
+			field:  "attacks[1].name",
+			reason: "duplicate",
+		},
+		{
+			name:   "unknown attack class names its slot",
+			doc:    `{"attacks":[{"name":"gnss-jam","startFrac":0.1,"stopFrac":0.3},{"name":"warp-drive"}]}`,
+			field:  "attacks[1].name",
+			reason: "unknown attack class",
+		},
+		{
+			name:   "window fraction out of range names its slot",
+			doc:    `{"attacks":[{"name":"gnss-jam","startFrac":1.5,"stopFrac":0.3}]}`,
+			field:  "attacks[0]",
+			reason: "fractions",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("Parse(%s): unexpected error %v", tc.doc, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Parse(%s) accepted, want SpecError on field %s", tc.doc, tc.field)
+			}
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("Parse(%s): error %v is not a *SpecError", tc.doc, err)
+			}
+			if se.Field != tc.field {
+				t.Fatalf("Parse(%s): SpecError.Field = %q, want %q", tc.doc, se.Field, tc.field)
+			}
+			if !strings.Contains(se.Reason, tc.reason) {
+				t.Fatalf("Parse(%s): SpecError.Reason = %q, want substring %q", tc.doc, se.Reason, tc.reason)
+			}
+			// Sanity: the flat message names the field too.
+			if !strings.Contains(err.Error(), tc.field) {
+				t.Fatalf("Parse(%s): error text %q does not name field %s", tc.doc, err, tc.field)
+			}
+		})
+	}
+}
+
+// TestSpecHorizonRoundTrip: a declared horizon survives the canonical JSON
+// round trip and stays omitted when undeclared.
+func TestSpecHorizonRoundTrip(t *testing.T) {
+	spec := Baseline()
+	spec.Horizon = 4 * time.Minute
+	data, err := spec.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Horizon != 4*time.Minute {
+		t.Fatalf("horizon after round trip = %v, want 4m", back.Horizon)
+	}
+	plain, err := Baseline().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(plain), "horizonNs") {
+		t.Fatalf("undeclared horizon serialized: %s", plain)
 	}
 }

@@ -85,6 +85,27 @@ type AttackSpec struct {
 	Params Params `json:"params,omitempty"`
 }
 
+// SpecError is a typed spec-validation failure naming the offending field
+// in JSON-pointer-ish dotted form (e.g. "attacks[2].name", "horizonNs").
+// Consumers that surface specs over a wire — the worksimd daemon maps one to
+// HTTP 422 Unprocessable Entity — can point the client at the exact field
+// instead of parroting an opaque message.
+type SpecError struct {
+	// Field names the offending spec field.
+	Field string
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("scenario spec: field %s: %s", e.Field, e.Reason)
+}
+
+// specErrorf builds a SpecError with a formatted reason.
+func specErrorf(field, format string, args ...any) *SpecError {
+	return &SpecError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
 // Spec is a complete declarative scenario. The zero value is not runnable;
 // start from Baseline() (or a catalog entry) and override fields. JSON spec
 // files are decoded on top of Baseline(), so a file only needs the fields it
@@ -94,6 +115,10 @@ type Spec struct {
 	Name string `json:"name,omitempty"`
 	// Description is a one-line summary for listings.
 	Description string `json:"description,omitempty"`
+	// Horizon, when positive, is the simulated duration the scenario
+	// declares for itself; runs opened without an explicit horizon use it
+	// instead of the engine default. Zero means undeclared.
+	Horizon time.Duration `json:"horizonNs,omitempty"`
 	// Site is the terrain.
 	Site SiteSpec `json:"site"`
 	// Weather holds for the whole run.
@@ -166,19 +191,30 @@ func (s Spec) Config(seed int64) worksite.Config {
 	}
 }
 
-// Validate checks the scenario-level invariants: every scheduled attack is a
-// registered class and its window fractions are sane. Worksite-level values
+// Validate checks the scenario-level invariants: a declared horizon is
+// positive, every scheduled attack is a registered class, schedule entries
+// are unique per class, and window fractions are sane. Failures are typed
+// *SpecError values naming the offending field. Worksite-level values
 // (grid, timing, densities) are validated by worksite.Config.Validate when
 // the spec is built.
 func (s Spec) Validate() error {
+	if s.Horizon < 0 {
+		return specErrorf("horizonNs", "declared horizon must be positive, got %v", s.Horizon)
+	}
+	seen := make(map[string]int, len(s.Attacks))
 	for i, a := range s.Attacks {
 		if _, ok := lookupAttack(a.Name); !ok {
-			return fmt.Errorf("scenario %q: attacks[%d]: unknown attack class %q (registered: %v)",
-				s.Name, i, a.Name, AttackNames())
+			return specErrorf(fmt.Sprintf("attacks[%d].name", i),
+				"unknown attack class %q (registered: %v)", a.Name, AttackNames())
 		}
+		if prev, dup := seen[a.Name]; dup {
+			return specErrorf(fmt.Sprintf("attacks[%d].name", i),
+				"duplicate attack schedule entry %q (already scheduled at attacks[%d]); merge the windows into one entry", a.Name, prev)
+		}
+		seen[a.Name] = i
 		if a.StartFrac < 0 || a.StartFrac > 1 || a.StopFrac < 0 || a.StopFrac > 1 {
-			return fmt.Errorf("scenario %q: attacks[%d] (%s): window fractions must be in [0,1], got start=%v stop=%v",
-				s.Name, i, a.Name, a.StartFrac, a.StopFrac)
+			return specErrorf(fmt.Sprintf("attacks[%d]", i),
+				"(%s): window fractions must be in [0,1], got start=%v stop=%v", a.Name, a.StartFrac, a.StopFrac)
 		}
 	}
 	return nil
@@ -192,6 +228,15 @@ func Parse(data []byte) (Spec, error) {
 	s.Description = ""
 	if err := json.Unmarshal(data, &s); err != nil {
 		return Spec{}, fmt.Errorf("scenario: parse spec: %w", err)
+	}
+	// A horizon the document declares explicitly must be positive; zero is
+	// indistinguishable from "absent" after decoding, so probe the raw JSON
+	// for a declared-but-non-positive value.
+	var probe struct {
+		Horizon *int64 `json:"horizonNs"`
+	}
+	if json.Unmarshal(data, &probe) == nil && probe.Horizon != nil && *probe.Horizon <= 0 {
+		return Spec{}, specErrorf("horizonNs", "declared horizon must be positive, got %dns", *probe.Horizon)
 	}
 	if s.Name == "" {
 		s.Name = "custom"

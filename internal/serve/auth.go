@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// EnvAPIKeys is the environment variable worksimd reads keys from when no
+// key file is given: a comma-separated list.
+const EnvAPIKeys = "WORKSIMD_API_KEYS"
+
+// ParseAPIKeys parses a key file: one key per line, blank lines and
+// #-comments ignored.
+func ParseAPIKeys(data []byte) []string {
+	var keys []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		keys = append(keys, line)
+	}
+	return keys
+}
+
+// LoadAPIKeysFile reads and parses a key file (see ParseAPIKeys).
+func LoadAPIKeysFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("api keys: %w", err)
+	}
+	return ParseAPIKeys(data), nil
+}
+
+// APIKeysFromEnv returns the comma-separated key list of EnvAPIKeys, nil
+// when unset.
+func APIKeysFromEnv() []string {
+	v := strings.TrimSpace(os.Getenv(EnvAPIKeys))
+	if v == "" {
+		return nil
+	}
+	var keys []string
+	for _, k := range strings.Split(v, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// authenticator checks static API keys and meters per-key token buckets.
+// With an empty key set authentication is disabled and all requests share
+// one anonymous bucket.
+type authenticator struct {
+	keys  map[string]bool
+	rate  float64 // tokens per second; <= 0 disables rate limiting
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// bucket is one token bucket: tokens refill at rate/s up to burst, one
+// token per request.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newAuthenticator(keys []string, rate float64, burst int, now func() time.Time) *authenticator {
+	a := &authenticator{
+		keys:    make(map[string]bool, len(keys)),
+		rate:    rate,
+		burst:   float64(burst),
+		now:     now,
+		buckets: make(map[string]*bucket),
+	}
+	for _, k := range keys {
+		a.keys[k] = true
+	}
+	return a
+}
+
+// requestKey extracts the presented API key: `Authorization: Bearer <key>`
+// wins, then `X-API-Key`.
+func requestKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if k, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(k)
+		}
+	}
+	return strings.TrimSpace(r.Header.Get("X-API-Key"))
+}
+
+// keyID is the loggable fingerprint of a key — never the key itself.
+func keyID(key string) string {
+	if key == "" {
+		return "anonymous"
+	}
+	sum := sha256.Sum256([]byte(key))
+	return fmt.Sprintf("%x", sum[:4])
+}
+
+// check authorises one request and spends one rate-limit token. It returns
+// the key fingerprint for logging, or the 401/429 to reject with.
+func (a *authenticator) check(r *http.Request) (string, *apiError) {
+	key := requestKey(r)
+	if len(a.keys) > 0 {
+		if key == "" {
+			return "", &apiError{Status: http.StatusUnauthorized, Code: "unauthorized",
+				Message: "missing API key; present it as `Authorization: Bearer <key>` or `X-API-Key`"}
+		}
+		if !a.keys[key] {
+			return "", &apiError{Status: http.StatusUnauthorized, Code: "unauthorized",
+				Message: "unknown API key"}
+		}
+	}
+	id := keyID(key)
+	if !a.allow(id) {
+		return id, &apiError{Status: http.StatusTooManyRequests, Code: "rate_limited",
+			Message: fmt.Sprintf("rate limit exceeded for key %s; retry shortly", id)}
+	}
+	return id, nil
+}
+
+// allow spends one token from the key's bucket, creating it full on first
+// use.
+func (a *authenticator) allow(id string) bool {
+	if a.rate <= 0 {
+		return true
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	b, ok := a.buckets[id]
+	if !ok {
+		b = &bucket{tokens: a.burst, last: now}
+		a.buckets[id] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * a.rate
+		if b.tokens > a.burst {
+			b.tokens = a.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// authenticate gates every endpoint except the unauthenticated probes
+// (healthz, version) behind key auth and rate limiting.
+func (s *Server) authenticate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/healthz" || r.URL.Path == "/v1/version" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		id, apiErr := s.auth.check(r)
+		if id != "" {
+			w.Header().Set(headerKeyID, id)
+		}
+		if apiErr != nil {
+			if apiErr.Status == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "1")
+			}
+			writeError(w, apiErr)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"net/http"
+
+	"repro/internal/scenario"
+)
+
+// scenarioInfo is one catalog entry of GET /v1/scenarios.
+type scenarioInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Attacks     int    `json:"attacks"`
+	// HorizonNs is the scenario's declared horizon, 0 when it defers to
+	// the run request.
+	HorizonNs int64 `json:"horizonNs,omitempty"`
+}
+
+// handleScenarios is GET /v1/scenarios: the named catalog, sorted, plus the
+// profile axis — everything a client needs to compose a run request.
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	names := scenario.List()
+	infos := make([]scenarioInfo, 0, len(names))
+	for _, name := range names {
+		spec, err := scenario.Get(name)
+		if err != nil {
+			writeError(w, &apiError{Status: http.StatusInternalServerError,
+				Code: "catalog", Message: err.Error()})
+			return
+		}
+		infos = append(infos, scenarioInfo{
+			Name:        name,
+			Description: spec.Description,
+			Attacks:     len(spec.Attacks),
+			HorizonNs:   int64(spec.Horizon),
+		})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Scenarios []scenarioInfo `json:"scenarios"`
+		Profiles  []string       `json:"profiles"`
+		Attacks   []string       `json:"attacks"`
+	}{infos, scenario.Profiles(), scenario.AttackNames()})
+}
+
+// handleHealthz is GET /v1/healthz (unauthenticated): liveness plus drain
+// visibility for load balancers.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status     string `json:"status"`
+		Draining   bool   `json:"draining"`
+		ActiveJobs int    `json:"activeJobs"`
+	}{status, s.draining.Load(), s.ActiveJobs()})
+}
+
+// handleVersion is GET /v1/version (unauthenticated).
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Version string `json:"version"`
+	}{s.cfg.Version})
+}

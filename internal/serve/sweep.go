@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/scenario"
+)
+
+// sweepRequest is the POST /v1/sweeps body: the scenario × profile × seed
+// cross-product the campaign engine fans out over its bounded pool.
+type sweepRequest struct {
+	// Scenarios are catalog names; empty (or ["all"]) selects the whole
+	// catalog.
+	Scenarios []string `json:"scenarios,omitempty"`
+	// Profiles are named defence selections; empty selects every profile.
+	Profiles []string `json:"profiles,omitempty"`
+	// Seeds is the per-cell seed range; a zero count defaults to one run
+	// at seed 42.
+	Seeds campaign.SeedRange `json:"seeds"`
+	// DurationNs is the simulated duration per run (0 = 10 minutes).
+	DurationNs int64 `json:"durationNs,omitempty"`
+	// Parallel bounds the worker pool (0 = 1).
+	Parallel int `json:"parallel,omitempty"`
+	// SampleNs, when positive, records a downsampled per-seed timeseries.
+	SampleNs int64 `json:"sampleNs,omitempty"`
+	// EarlyStop names an early-stop predicate (collision, unsafe,
+	// safe-stop, first-alert).
+	EarlyStop string `json:"earlyStop,omitempty"`
+}
+
+// sweepProgress is the progress counter of a sweep: simulation runs
+// (seeds × cells) completed out of the total.
+type sweepProgress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// sweepStatus is the wire representation of a sweep job.
+type sweepStatus struct {
+	ID         string             `json:"id"`
+	State      State              `json:"state"`
+	Scenarios  []string           `json:"scenarios"`
+	Profiles   []string           `json:"profiles"`
+	Seeds      campaign.SeedRange `json:"seeds"`
+	DurationNs int64              `json:"durationNs"`
+	Progress   sweepProgress      `json:"progress"`
+	Error      string             `json:"error,omitempty"`
+	// Result is the sweep's JSON export (the schema locked by the façade
+	// golden file), present once State is "done".
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// sweepJob is one asynchronous sweep.
+type sweepJob struct {
+	id        string
+	scenarios []string
+	profiles  []string
+	seeds     campaign.SeedRange
+	duration  time.Duration
+	total     int
+	done      atomic.Int64
+	cancel    context.CancelFunc
+
+	mu     sync.Mutex
+	state  State
+	errMsg string
+	result json.RawMessage
+}
+
+func (j *sweepJob) status(withResult bool) sweepStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := sweepStatus{
+		ID:         j.id,
+		State:      j.state,
+		Scenarios:  j.scenarios,
+		Profiles:   j.profiles,
+		Seeds:      j.seeds,
+		DurationNs: int64(j.duration),
+		Progress:   sweepProgress{Done: int(j.done.Load()), Total: j.total},
+		Error:      j.errMsg,
+	}
+	if withResult {
+		st.Result = j.result
+	}
+	return st
+}
+
+func (j *sweepJob) setState(s State) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		j.state = s
+	}
+}
+
+func (j *sweepJob) finish(state State, result json.RawMessage, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.result = result
+	j.errMsg = errMsg
+}
+
+// handleSubmitSweep is POST /v1/sweeps: validate the axes synchronously,
+// register the job, and fan it out on the campaign pool asynchronously.
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if apiErr := decodeBody(w, r, &req); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	scenarios := req.Scenarios
+	if len(scenarios) == 0 || (len(scenarios) == 1 && scenarios[0] == "all") {
+		scenarios = scenario.List()
+	}
+	for _, name := range scenarios {
+		if _, err := scenario.Get(name); err != nil {
+			writeError(w, &apiError{Status: http.StatusUnprocessableEntity,
+				Code: "unknown_scenario", Field: "scenarios", Message: err.Error()})
+			return
+		}
+	}
+	profiles := req.Profiles
+	if len(profiles) == 0 {
+		profiles = scenario.Profiles()
+	}
+	for _, name := range profiles {
+		if _, err := scenario.ResolveProfile(name); err != nil {
+			writeError(w, &apiError{Status: http.StatusUnprocessableEntity,
+				Code: "unknown_profile", Field: "profiles", Message: err.Error()})
+			return
+		}
+	}
+	earlyStop, err := campaign.EarlyStopByName(req.EarlyStop)
+	if err != nil {
+		writeError(w, &apiError{Status: http.StatusUnprocessableEntity,
+			Code: "unknown_early_stop", Field: "earlyStop", Message: err.Error()})
+		return
+	}
+	seeds := req.Seeds
+	if seeds.Count <= 0 {
+		seeds = campaign.SeedRange{Base: DefaultSeed, Count: 1}
+	}
+	duration := time.Duration(req.DurationNs)
+	if duration < 0 {
+		writeError(w, &apiError{Status: http.StatusUnprocessableEntity,
+			Code: "invalid_spec", Field: "durationNs", Message: "duration must be positive"})
+		return
+	}
+	if duration == 0 {
+		duration = campaign.DefaultSweepDuration
+	}
+	if apiErr := s.acquireJobSlot(); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j := s.sweeps.add(func(id string) *sweepJob {
+		return &sweepJob{
+			id:        id,
+			scenarios: scenarios,
+			profiles:  profiles,
+			seeds:     seeds,
+			duration:  duration,
+			total:     len(scenarios) * len(profiles) * seeds.Count,
+			cancel:    cancel,
+			state:     StatePending,
+		}
+	})
+	opts := campaign.SweepOptions{
+		Scenarios:   scenarios,
+		Profiles:    profiles,
+		Seeds:       seeds,
+		Parallel:    req.Parallel,
+		Duration:    duration,
+		SampleEvery: time.Duration(req.SampleNs),
+		EarlyStop:   earlyStop,
+		OnRunDone:   func() { j.done.Add(1) },
+	}
+
+	s.jobs.Add(1)
+	go s.executeSweep(ctx, j, opts)
+
+	s.log.Info("sweep submitted", "sweepID", j.id,
+		"cells", len(scenarios)*len(profiles), "seeds", seeds.Count, "duration", duration.String())
+	w.Header().Set(headerJobID, j.id)
+	writeJSON(w, http.StatusAccepted, j.status(false))
+}
+
+// executeSweep drives one sweep to completion on its own goroutine.
+func (s *Server) executeSweep(ctx context.Context, j *sweepJob, opts campaign.SweepOptions) {
+	defer s.jobs.Add(-1)
+	defer s.releaseJobSlot()
+	j.setState(StateRunning)
+	res, err := campaign.Sweep(ctx, opts)
+	switch {
+	case err == nil:
+		b, jerr := res.JSON()
+		if jerr != nil {
+			j.finish(StateFailed, nil, "encode result: "+jerr.Error())
+		} else {
+			j.finish(StateDone, b, "")
+		}
+	case errors.Is(err, context.Canceled):
+		j.finish(StateCancelled, nil, "")
+	default:
+		j.finish(StateFailed, nil, err.Error())
+	}
+	st := j.status(false)
+	s.log.Info("sweep finished", "sweepID", j.id, "state", string(st.State),
+		"done", st.Progress.Done, "total", st.Progress.Total, "err", st.Error)
+}
+
+// handleGetSweep is GET /v1/sweeps/{id}: status, progress and — once done —
+// the sweep result.
+func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sweeps.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, notFound("sweep", r.PathValue("id")))
+		return
+	}
+	w.Header().Set(headerJobID, j.id)
+	writeJSON(w, http.StatusOK, j.status(true))
+}
+
+// handleListSweeps is GET /v1/sweeps: every sweep in ID order, results
+// elided.
+func (s *Server) handleListSweeps(w http.ResponseWriter, r *http.Request) {
+	jobs := s.sweeps.all()
+	out := make([]sweepStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.status(false))
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Sweeps []sweepStatus `json:"sweeps"`
+	}{out})
+}
+
+// handleCancelSweep is DELETE /v1/sweeps/{id}: fire the sweep's context;
+// the pool stops claiming seeds and in-flight runs stop between ticks.
+func (s *Server) handleCancelSweep(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sweeps.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, notFound("sweep", r.PathValue("id")))
+		return
+	}
+	j.cancel()
+	s.log.Info("sweep cancel requested", "sweepID", j.id)
+	w.Header().Set(headerJobID, j.id)
+	writeJSON(w, http.StatusOK, j.status(false))
+}

@@ -1,0 +1,96 @@
+// Package tracefmt is the JSON-lines wire encoding of the typed event
+// stream: every event a session publishes becomes one line of the form
+//
+//	{"event": KIND, "data": {...}}
+//
+// in simulation order. The format is shared verbatim by the two transports
+// that expose live event feeds — `worksite-sim -trace` writes the lines to a
+// file or stdout, and the worksimd daemon replays them as Server-Sent-Event
+// payloads — so the schema can never fork between the CLI and the service.
+package tracefmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"repro/internal/worksite"
+)
+
+// Line is the wire envelope of one event.
+type Line struct {
+	Event string `json:"event"`
+	Data  any    `json:"data"`
+}
+
+// Marshal encodes one event as a single JSON line without the trailing
+// newline — the exact bytes a Writer emits for the same event, and the exact
+// SSE data: payload the daemon streams.
+func Marshal(e worksite.Event) ([]byte, error) {
+	return json.Marshal(Line{Event: e.EventKind(), Data: e})
+}
+
+// Observer adapts a per-event callback into a full worksite.Observer: every
+// event type is forwarded to fn in publication order. It is the single
+// fan-in point both trace transports subscribe with.
+func Observer(fn func(worksite.Event)) worksite.Observer {
+	return &worksite.ObserverFuncs{
+		Tick:             func(e worksite.TickSnapshot) { fn(e) },
+		Alert:            func(e worksite.AlertRaised) { fn(e) },
+		AttackPhase:      func(e worksite.AttackPhase) { fn(e) },
+		SecurityResponse: func(e worksite.SecurityResponse) { fn(e) },
+		ModeChange:       func(e worksite.ModeChange) { fn(e) },
+		MissionPhase:     func(e worksite.MissionPhase) { fn(e) },
+		Safety:           func(e worksite.SafetyEvent) { fn(e) },
+	}
+}
+
+// Writer streams events as JSON lines to an io.Writer through an internal
+// buffer. Writes happen inside the simulation loop (observers run
+// synchronously), so errors are latched rather than surfaced per event:
+// check Err or the Flush result once the run ends.
+//
+// Flush is idempotent and must be called (directly or via Close) before the
+// sink is read or the process exits — in particular on the cancellation
+// path, where the buffered tail of the trace is the most diagnostic part. A
+// flushed Writer never leaves a truncated line behind for events it
+// observed.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewWriter returns a Writer streaming JSON lines to w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Observer returns the observer to subscribe on a session: every published
+// event becomes one buffered JSON line.
+func (w *Writer) Observer() worksite.Observer {
+	return Observer(func(e worksite.Event) { w.encode(e) })
+}
+
+// encode writes one event line, latching the first error.
+func (w *Writer) encode(e worksite.Event) {
+	if w.err != nil {
+		return
+	}
+	w.err = w.enc.Encode(Line{Event: e.EventKind(), Data: e})
+}
+
+// Flush drains the internal buffer to the sink and returns the first error
+// seen by any write so far. Safe to call repeatedly; later calls after a
+// clean flush are no-ops.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.bw.Flush()
+	return w.err
+}
+
+// Err returns the latched write error, if any.
+func (w *Writer) Err() error { return w.err }

@@ -1,0 +1,147 @@
+package tracefmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/worksite"
+)
+
+// TestMarshalEnvelope: Marshal wraps any event in the stable
+// {"event": KIND, "data": {...}} envelope, one line, no trailing newline.
+func TestMarshalEnvelope(t *testing.T) {
+	events := []worksite.Event{
+		worksite.ModeChange{At: 3 * time.Second, From: "normal", To: "cautious"},
+		worksite.AttackPhase{At: time.Minute, Attack: "gnss-jam", Active: true},
+		worksite.MissionPhase{At: 9 * time.Second, Phase: "loading", Detail: "phase -> loading"},
+		worksite.SafetyEvent{At: 2 * time.Second, Kind: worksite.SafetyUnsafeEnter},
+		worksite.SecurityResponse{At: time.Second, Kind: worksite.ResponseChannelHop, Detail: "ch 3 -> 7"},
+	}
+	for _, e := range events {
+		b, err := Marshal(e)
+		if err != nil {
+			t.Fatalf("Marshal(%T): %v", e, err)
+		}
+		if bytes.ContainsRune(b, '\n') {
+			t.Fatalf("Marshal(%T) contains a newline: %q", e, b)
+		}
+		var line struct {
+			Event string          `json:"event"`
+			Data  json.RawMessage `json:"data"`
+		}
+		if err := json.Unmarshal(b, &line); err != nil {
+			t.Fatalf("Marshal(%T) is not a JSON object: %v", e, err)
+		}
+		if line.Event != e.EventKind() {
+			t.Fatalf("Marshal(%T).event = %q, want %q", e, line.Event, e.EventKind())
+		}
+		want, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(line.Data, want) {
+			t.Fatalf("Marshal(%T).data = %s, want %s", e, line.Data, want)
+		}
+	}
+}
+
+// TestObserverFansInAllEventTypes: the adapter forwards every event type to
+// the single callback, in publication order.
+func TestObserverFansInAllEventTypes(t *testing.T) {
+	var kinds []string
+	obs := Observer(func(e worksite.Event) { kinds = append(kinds, e.EventKind()) })
+	obs.OnTick(worksite.TickSnapshot{})
+	obs.OnAlert(worksite.AlertRaised{})
+	obs.OnAttackPhase(worksite.AttackPhase{})
+	obs.OnSecurityResponse(worksite.SecurityResponse{})
+	obs.OnModeChange(worksite.ModeChange{})
+	obs.OnMissionPhase(worksite.MissionPhase{})
+	obs.OnSafetyEvent(worksite.SafetyEvent{})
+	want := []string{"tick", "alert", "attack-phase", "security-response",
+		"mode-change", "mission-phase", "safety"}
+	if len(kinds) != len(want) {
+		t.Fatalf("observer forwarded %d events, want %d: %v", len(kinds), len(want), kinds)
+	}
+	for i, k := range want {
+		if kinds[i] != k {
+			t.Fatalf("event %d kind = %q, want %q (all: %v)", i, kinds[i], k, kinds)
+		}
+	}
+}
+
+// TestWriterLinesMatchMarshal: the buffered Writer emits exactly one line per
+// event, each byte-identical to Marshal of the same event.
+func TestWriterLinesMatchMarshal(t *testing.T) {
+	events := []worksite.Event{
+		worksite.ModeChange{At: time.Second, From: "normal", To: "alarmed"},
+		worksite.AttackPhase{At: 2 * time.Second, Attack: "rf-jam", Active: true},
+		worksite.AttackPhase{At: 3 * time.Second, Attack: "rf-jam", Active: false},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, e := range events {
+		w.encode(e)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != len(events) {
+		t.Fatalf("writer emitted %d lines, want %d:\n%s", len(lines), len(events), buf.String())
+	}
+	for i, e := range events {
+		want, err := Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lines[i] != string(want) {
+			t.Fatalf("line %d = %s, want %s", i, lines[i], want)
+		}
+	}
+}
+
+// TestWriterFlushIdempotent: repeated flushes after a clean flush are no-ops
+// and emit nothing new.
+func TestWriterFlushIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.encode(worksite.ModeChange{From: "a", To: "b"})
+	if err := w.Flush(); err != nil {
+		t.Fatalf("first Flush: %v", err)
+	}
+	n := buf.Len()
+	if err := w.Flush(); err != nil {
+		t.Fatalf("second Flush: %v", err)
+	}
+	if buf.Len() != n {
+		t.Fatalf("second Flush wrote %d extra bytes", buf.Len()-n)
+	}
+}
+
+// errWriter fails every write.
+type errWriter struct{}
+
+func (errWriter) Write(p []byte) (int, error) { return 0, errors.New("sink gone") }
+
+// TestWriterLatchesError: a failing sink latches the first error; later
+// encodes are dropped and Flush/Err surface the latched error.
+func TestWriterLatchesError(t *testing.T) {
+	w := NewWriter(errWriter{})
+	// Overflow the bufio buffer so the underlying write error fires.
+	for i := 0; i < 10000; i++ {
+		w.encode(worksite.MissionPhase{Phase: "to-landing", Detail: strings.Repeat("x", 64)})
+	}
+	if w.Err() == nil {
+		t.Fatal("Err() = nil after writing through a failing sink")
+	}
+	if err := w.Flush(); err == nil || !strings.Contains(err.Error(), "sink gone") {
+		t.Fatalf("Flush = %v, want latched sink error", err)
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("error did not stay latched across Flush calls")
+	}
+}

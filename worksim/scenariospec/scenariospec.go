@@ -35,6 +35,12 @@ type (
 	Weather = sensors.Weather
 )
 
+// SpecError is the typed validation failure Parse and Spec.Validate return:
+// it names the offending field (e.g. "attacks[2].name", "horizonNs") so
+// wire consumers — the worksimd daemon maps one to HTTP 422 — can point at
+// the exact field. Match with errors.As.
+type SpecError = scenario.SpecError
+
 // Baseline returns the clean E1 baseline scenario: a 400x400 m site,
 // moderate forest, three workers, clear weather, drone on, no defences, no
 // attacks.

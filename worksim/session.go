@@ -82,12 +82,20 @@ type Session struct {
 // Open compiles a Scenario into a runnable session: the worksite is
 // commissioned from the spec, the attack schedule is resolved against the
 // horizon and armed, and the session's event stream is wired. Options
-// default to DefaultSeed, DefaultHorizon, and the scenario's own security
-// profile.
+// default to DefaultSeed, the scenario's own security profile, and — for the
+// horizon — the spec's declared Horizon when it has one, DefaultHorizon
+// otherwise.
 func Open(spec Scenario, opts ...Option) (*Session, error) {
-	c := sessionConfig{seed: DefaultSeed, horizon: DefaultHorizon}
+	c := sessionConfig{seed: DefaultSeed}
 	for _, opt := range opts {
 		opt(&c)
+	}
+	if c.horizon <= 0 {
+		if spec.Horizon > 0 {
+			c.horizon = spec.Horizon
+		} else {
+			c.horizon = DefaultHorizon
+		}
 	}
 	if c.profile != nil {
 		spec = spec.WithProfile(*c.profile)

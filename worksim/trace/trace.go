@@ -1,0 +1,37 @@
+// Package trace is the public JSON-lines encoding of the typed event
+// stream — the `worksite-sim -trace` file format and, verbatim, the SSE
+// data: payload of the worksimd daemon. One line per event, in simulation
+// order:
+//
+//	{"event": KIND, "data": {...}}
+//
+// where KIND is the event's stable kind tag ("tick", "alert",
+// "attack-phase", "security-response", "mode-change", "mission-phase",
+// "safety") and data carries the event's own stable JSON fields. The schema
+// is shared by both transports from a single encoder, so it cannot fork.
+package trace
+
+import (
+	"io"
+
+	"repro/internal/tracefmt"
+	"repro/worksim/event"
+)
+
+// Writer streams a session's events as JSON lines to a sink through an
+// internal buffer. Subscribe Writer.Observer() on a session, run, then
+// Flush — including on the cancellation path, where the buffered tail of
+// the trace is the most diagnostic part. Flush is idempotent; write errors
+// latch and surface on Flush/Err.
+type Writer = tracefmt.Writer
+
+// NewWriter returns a Writer streaming JSON lines to w.
+func NewWriter(w io.Writer) *Writer { return tracefmt.NewWriter(w) }
+
+// Marshal encodes one event as a single JSON line (no trailing newline) —
+// the exact bytes a Writer emits and the daemon streams as an SSE payload.
+func Marshal(e event.Event) ([]byte, error) { return tracefmt.Marshal(e) }
+
+// Observer adapts a per-event callback into an event.Observer receiving
+// every event type in publication order.
+func Observer(fn func(event.Event)) event.Observer { return tracefmt.Observer(fn) }

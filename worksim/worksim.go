@@ -35,7 +35,7 @@ import (
 // Version is the façade's semantic version. Bump the minor on surface
 // additions and the major on breaking changes; every cmd/ binary reports it
 // via -version.
-const Version = "0.4.0"
+const Version = "0.5.0"
 
 // Scenario declaratively describes one worksite operational situation. It is
 // the same type as scenariospec.Spec — compose one from Baseline(), a
@@ -66,6 +66,10 @@ func AttackNames() []string { return scenario.AttackNames() }
 func LoadSpec(path string) (Scenario, error) { return scenario.LoadFile(path) }
 
 // ParseSpec decodes a JSON scenario spec document (see LoadSpec).
+// Validation failures — a declared horizon that is not positive, unknown or
+// duplicate attack schedule entries, out-of-range window fractions — are
+// typed [scenariospec.SpecError] values naming the offending field, which
+// the worksimd daemon surfaces as HTTP 422.
 func ParseSpec(data []byte) (Scenario, error) { return scenario.Parse(data) }
 
 // SecurityProfile selects the active defence stack of a run.
