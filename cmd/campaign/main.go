@@ -10,15 +10,25 @@
 //	campaign -experiments all -seeds 16 -json results.json
 //	campaign -sweep -scenarios all -profiles unsecured,secured -seeds 8
 //	campaign -sweep -scenarios rf-jamming,harsh-weather -duration 5m
+//	campaign -sweep -shard 0/4 -checkpoint state/ -cache cache/ -json shard0.json
+//	campaign -merge shard0.json shard1.json shard2.json shard3.json
 //	campaign -version
 //
 // With -sweep the campaign fans the cross-product scenario × profile × seed
 // out instead of the registered experiments: -scenarios selects named
 // catalog scenarios (worksim.Catalog) and -profiles the defence selections.
 //
+// Sweeps scale out: -shard i/N runs only the runs shard i owns under the
+// stable hash partition (each shard in its own process), -cache dir serves
+// repeated runs from a content-addressed result cache, and -checkpoint dir
+// journals completed runs so a killed campaign resumes at its watermark.
+// -merge combines the shard result files into output byte-identical to the
+// single-process sweep. Progress and statistics go to stderr, so `-json -`
+// output on stdout pipes straight into -merge.
+//
 // The seed range convention is [seed-base, seed-base+seeds); with a fixed
 // seed set the aggregate tables and the JSON export are byte-identical across
-// repeated runs regardless of -parallel.
+// repeated runs regardless of -parallel, -shard, or cache state.
 //
 // Campaigns are cancellable: SIGINT/SIGTERM drain the worker pool (in-flight
 // simulation runs stop at their next control tick) and the command exits
@@ -66,6 +76,10 @@ func run() error {
 		profList  = flag.String("profiles", strings.Join(worksim.Profiles(), ","), "comma-separated security profiles for -sweep")
 		sample    = flag.Duration("sample", 0, "record a per-seed timeseries point every this much simulated time (-sweep only, 0 = off)")
 		earlyStop = flag.String("early-stop", "", "end each -sweep run at the first tick matching this predicate (collision|unsafe|safe-stop|first-alert)")
+		shardSel  = flag.String("shard", "", "run only shard i of N of the sweep, as \"i/N\" (-sweep only)")
+		cacheDir  = flag.String("cache", "", "serve repeated runs from a content-addressed result cache rooted here (-sweep only)")
+		ckptDir   = flag.String("checkpoint", "", "journal completed runs here and resume a killed campaign from its watermark (-sweep only)")
+		merge     = flag.Bool("merge", false, "merge sharded sweep result files (the positional args) into one sweep result on stdout")
 		version   = flag.Bool("version", false, "print the worksim version and exit")
 	)
 	flag.Parse()
@@ -80,8 +94,18 @@ func run() error {
 	// override, now -sotif-scenarios).
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *merge {
+		for _, name := range []string{"sweep", "experiments", "trials", "sotif-scenarios", "per-seed",
+			"scenarios", "profiles", "sample", "early-stop", "shard", "cache", "checkpoint",
+			"seeds", "seed-base", "parallel", "duration", "csv"} {
+			if set[name] {
+				return fmt.Errorf("-%s does not apply to -merge", name)
+			}
+		}
+		return runMerge(flag.Args(), *jsonPath)
+	}
 	if !*sweep {
-		for _, name := range []string{"scenarios", "profiles", "sample", "early-stop"} {
+		for _, name := range []string{"scenarios", "profiles", "sample", "early-stop", "shard", "cache", "checkpoint"} {
 			if set[name] {
 				hint := ""
 				if name == "scenarios" {
@@ -117,6 +141,7 @@ func run() error {
 			scenList: *scenList, profList: *profList,
 			seeds: *seeds, seedBase: *seedBase, parallel: *parallel,
 			duration: *duration, sample: *sample, earlyStop: *earlyStop,
+			shard: *shardSel, cacheDir: *cacheDir, ckptDir: *ckptDir,
 			jsonPath: *jsonPath, csv: *csv,
 		})
 	}
@@ -184,6 +209,9 @@ type sweepArgs struct {
 	duration           time.Duration
 	sample             time.Duration
 	earlyStop          string
+	shard              string
+	cacheDir           string
+	ckptDir            string
 	jsonPath           string
 	csv                bool
 }
@@ -202,14 +230,26 @@ func runSweep(ctx context.Context, a sweepArgs) error {
 	if err != nil {
 		return err
 	}
+	var sel worksim.ShardSel
+	if a.shard != "" {
+		if sel, err = worksim.ParseShard(a.shard); err != nil {
+			return err
+		}
+	}
+	var stats worksim.SweepStats
 	opts := worksim.SweepOptions{
-		Scenarios:   split(a.scenList),
-		Profiles:    split(a.profList),
-		Seeds:       worksim.SeedRange{Base: a.seedBase, Count: a.seeds},
-		Parallel:    a.parallel,
-		Duration:    a.duration,
-		SampleEvery: a.sample,
-		EarlyStop:   stop,
+		Scenarios:     split(a.scenList),
+		Profiles:      split(a.profList),
+		Seeds:         worksim.SeedRange{Base: a.seedBase, Count: a.seeds},
+		Parallel:      a.parallel,
+		Duration:      a.duration,
+		SampleEvery:   a.sample,
+		EarlyStop:     stop,
+		EarlyStopName: a.earlyStop,
+		Shard:         sel,
+		CacheDir:      a.cacheDir,
+		CheckpointDir: a.ckptDir,
+		Stats:         &stats,
 	}
 	start := time.Now()
 	res, err := worksim.Sweep(ctx, opts)
@@ -225,8 +265,13 @@ func runSweep(ctx context.Context, a sweepArgs) error {
 			fmt.Print(t.Render())
 		}
 	}
+	// Progress and statistics go to stderr only, so `-json -` keeps stdout
+	// parseable (and pipeable into -merge).
 	fmt.Fprintf(os.Stderr, "campaign: sweep of %d cell(s) x %d seed(s), parallel %d, %.2fs wall\n",
 		len(res.Cells), a.seeds, a.parallel, time.Since(start).Seconds())
+	sv := stats.View()
+	fmt.Fprintf(os.Stderr, "campaign: sweep stats: executed=%d resumed=%d cacheHits=%d cacheMisses=%d cacheCorrupt=%d\n",
+		sv.Executed, sv.Resumed, sv.CacheHits, sv.CacheMisses, sv.CacheCorrupt)
 	if a.jsonPath != "" {
 		j, err := res.JSON()
 		if err != nil {
@@ -239,6 +284,34 @@ func runSweep(ctx context.Context, a sweepArgs) error {
 		return os.WriteFile(a.jsonPath, append(j, '\n'), 0o644)
 	}
 	return nil
+}
+
+// runMerge combines sharded sweep result files into the single result an
+// unsharded sweep would have produced. Output goes to stdout (or -json
+// path); it is byte-identical to the single-process sweep's -json export.
+func runMerge(paths []string, jsonPath string) error {
+	if len(paths) < 1 {
+		return fmt.Errorf("-merge needs at least one shard result file argument")
+	}
+	blobs := make([][]byte, 0, len(paths))
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		blobs = append(blobs, b)
+	}
+	merged, out, err := worksim.MergeSweepJSON(blobs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "campaign: merged %d shard(s): %d cell(s), %s\n",
+		len(paths), len(merged.Cells), merged.Seeds)
+	if jsonPath != "" && jsonPath != "-" {
+		return os.WriteFile(jsonPath, append(out, '\n'), 0o644)
+	}
+	_, err = os.Stdout.Write(append(out, '\n'))
+	return err
 }
 
 func listTable() *report.Table {

@@ -6,8 +6,14 @@
 // Usage:
 //
 //	worksimd [-addr :8080] [-api-keys FILE] [-rate 20] [-burst 40]
-//	         [-max-jobs 8] [-event-buffer 4096] [-drain-timeout 15s] [-quiet]
+//	         [-max-jobs 8] [-event-buffer 4096] [-drain-timeout 15s]
+//	         [-cache-dir DIR] [-quiet]
 //	worksimd -version
+//
+// With -cache-dir the daemon serves repeated sweep runs from a
+// content-addressed result cache rooted there: completed (scenario, profile,
+// seed) runs persist across sweeps and daemon restarts, and sweep progress
+// reports how many runs came from the cache.
 //
 // API keys come from -api-keys (one key per line, # comments) or the
 // WORKSIMD_API_KEYS environment variable (comma-separated); with neither,
@@ -62,6 +68,7 @@ func run() error {
 		maxJobs      = flag.Int("max-jobs", 0, "max concurrently active run+sweep jobs, 429 beyond (0 = default, negative disables)")
 		eventBuffer  = flag.Int("event-buffer", 0, "per-run SSE replay ring capacity in events (0 = default)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "how long drain waits for in-flight jobs before cancelling them")
+		cacheDir     = flag.String("cache-dir", "", "serve repeated sweep runs from a content-addressed result cache rooted here (empty = off)")
 		quiet        = flag.Bool("quiet", false, "suppress the structured request log on stderr")
 		version      = flag.Bool("version", false, "print the worksim version and exit")
 	)
@@ -93,6 +100,7 @@ func run() error {
 		MaxConcurrentJobs: *maxJobs,
 		EventBuffer:       *eventBuffer,
 		DrainTimeout:      *drainTimeout,
+		CacheDir:          *cacheDir,
 		Logger:            logger,
 	})
 

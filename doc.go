@@ -11,8 +11,15 @@
 //   - worksim — the Scenario catalog (Catalog/Lookup/ForAttack/LoadSpec),
 //     Open(spec, ...Option) returning a steppable, context-cancellable
 //     *Session, Report/Metrics, and Sweep(ctx, SweepOptions) for
-//     scenario × profile × seed campaigns. worksim.Version identifies the
-//     surface; every cmd/ binary reports it via -version.
+//     scenario × profile × seed campaigns. Sweeps scale out: ShardSel
+//     partitions the cube across processes (ParseShard/AssignShard,
+//     MergeSweeps recombining shard outputs byte-identically),
+//     SweepOptions.CacheDir serves repeated runs from a content-addressed
+//     cache keyed on SpecHash and the full run shape, and CheckpointDir
+//     resumes a killed campaign at its completed-run watermark.
+//     worksim.Version identifies the engine version; every cmd/ binary
+//     reports it via -version and every sweep/campaign JSON export carries
+//     it.
 //   - worksim/scenariospec — the declarative JSON scenario model (site,
 //     weather, workers, drone, fusion policy, security profile, attack
 //     schedule as data).
@@ -53,6 +60,18 @@
 // stops a simulation at the next tick with the worker pool drained; the
 // worksimd daemon drains the same way, cancelling in-flight jobs between
 // ticks once its drain deadline passes.
+//
+// Campaigns at scale: internal/shard assigns every (scenario, profile,
+// seed) run to a shard by a stable FNV-1a hash — independent of enumeration
+// order — so `campaign -shard i/N` processes partition a sweep and
+// `campaign -merge` recombines their outputs into bytes identical to the
+// single-process run. internal/resultcache stores completed runs in
+// checksummed, atomically-written entries addressed by the SHA-256 of the
+// full run key (spec hash, profile, seed, duration, sampling, early-stop
+// name, engine version); damaged entries are detected, evicted and
+// recomputed, never trusted. Checkpoint journals (JSON lines, torn-tail
+// tolerant) make a killed campaign resumable. None of the three changes a
+// byte of sweep output — only where the bytes come from.
 //
 // Everything under internal/ is engine: free to evolve, reachable only
 // through the façade. The cmd/ binaries and examples/ import exclusively

@@ -1,0 +1,223 @@
+package campaign
+
+// Checkpointing: a per-shard JSON-lines journal of completed runs, so a
+// killed campaign resumes instead of restarting. The first line is a header
+// binding the journal to one campaign (engine version, duration, seed range,
+// sampling, early-stop name, shard selector and axes); every later line is
+// one completed (scenario, profile, seed) run with its stored record. Lines
+// are appended as runs complete, so a process killed between seeds leaves a
+// journal whose valid prefix is exactly the finished work; on resume the
+// journal is replayed (a torn tail from the kill is detected and dropped),
+// rewritten clean, and every journaled run is served from memory instead of
+// recomputed.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/shard"
+)
+
+// checkpointHeader binds a journal to the campaign that writes it. Two
+// campaigns with different parameters may never share a journal: replaying
+// run records into a differently-shaped sweep would corrupt its output.
+type checkpointHeader struct {
+	Kind       string    `json:"kind"`
+	Version    string    `json:"version"`
+	DurationNs int64     `json:"durationNs"`
+	Seeds      SeedRange `json:"seeds"`
+	SampleNs   int64     `json:"sampleNs"`
+	EarlyStop  string    `json:"earlyStop"`
+	Shard      ShardInfo `json:"shard"`
+	Scenarios  []string  `json:"scenarios"`
+	Profiles   []string  `json:"profiles"`
+}
+
+// checkpointKind guards against replaying an unrelated JSON-lines file.
+const checkpointKind = "worksim-sweep-checkpoint"
+
+// checkpointRecord is one journaled run.
+type checkpointRecord struct {
+	Scenario string    `json:"scenario"`
+	Profile  string    `json:"profile"`
+	Seed     int64     `json:"seed"`
+	Run      runRecord `json:"run"`
+}
+
+// checkpoint is an open journal: the replayed completed-run watermark plus
+// an append handle for newly completed runs. Safe for concurrent use by the
+// sweep pool.
+type checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[shard.Key]runRecord
+}
+
+// checkpointFile names the journal of one shard inside the checkpoint
+// directory; the unsharded case is shard 0 of 1, so sharded and unsharded
+// campaigns can share a directory without colliding.
+func checkpointFile(dir string, sel shard.Sel) string {
+	count := sel.Count
+	if count < 1 {
+		count = 1
+	}
+	return filepath.Join(dir, fmt.Sprintf("shard-%d-of-%d.jsonl", sel.Index, count))
+}
+
+// openCheckpoint opens (creating if absent) the journal for one shard,
+// replays any completed runs recorded by a previous process, rewrites the
+// file clean (dropping a torn tail), and leaves it open for appends.
+func openCheckpoint(dir string, sel shard.Sel, hdr checkpointHeader) (*checkpoint, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	path := checkpointFile(dir, sel)
+	ck := &checkpoint{done: make(map[shard.Key]runRecord)}
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh campaign.
+	case err != nil:
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	default:
+		if err := ck.replay(path, data, hdr); err != nil {
+			return nil, err
+		}
+	}
+
+	// Rewrite the journal from the replayed state so appends always land on
+	// a clean line boundary, then reopen for appending. The rewrite goes
+	// through a temp file + rename, so a crash here loses nothing.
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var buf bytes.Buffer
+	hb, err := json.Marshal(hdr)
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("checkpoint: marshal header: %w", err)
+	}
+	buf.Write(hb)
+	buf.WriteByte('\n')
+	keys := make([]shard.Key, 0, len(ck.done))
+	for k := range ck.done {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Scenario != b.Scenario {
+			return a.Scenario < b.Scenario
+		}
+		if a.Profile != b.Profile {
+			return a.Profile < b.Profile
+		}
+		return a.Seed < b.Seed
+	})
+	for _, k := range keys {
+		rb, err := json.Marshal(checkpointRecord{Scenario: k.Scenario, Profile: k.Profile, Seed: k.Seed, Run: ck.done[k]})
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return nil, fmt.Errorf("checkpoint: marshal record: %w", err)
+		}
+		buf.Write(rb)
+		buf.WriteByte('\n')
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("checkpoint: rewrite journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	ck.f = f
+	return ck, nil
+}
+
+// replay loads an existing journal: the header must match this campaign
+// exactly, then records accumulate until the end of the file or the first
+// undecodable line (the torn tail a killed process leaves; everything after
+// it is discarded and recomputed).
+func (ck *checkpoint) replay(path string, data []byte, want checkpointHeader) error {
+	lines := bytes.Split(data, []byte("\n"))
+	if len(lines) == 0 {
+		return fmt.Errorf("checkpoint %s: empty journal", path)
+	}
+	var got checkpointHeader
+	if err := json.Unmarshal(lines[0], &got); err != nil || got.Kind != checkpointKind {
+		return fmt.Errorf("checkpoint %s: not a sweep checkpoint journal", path)
+	}
+	gotB, _ := json.Marshal(got)
+	wantB, _ := json.Marshal(want)
+	if !bytes.Equal(gotB, wantB) {
+		return fmt.Errorf("checkpoint %s: journal was written by a different campaign (journal %s, this campaign %s); resume with identical parameters or use a fresh -checkpoint dir",
+			path, gotB, wantB)
+	}
+	for _, line := range lines[1:] {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var r checkpointRecord
+		if err := json.Unmarshal(line, &r); err != nil {
+			// Torn tail: the process died mid-append. The prefix up to here
+			// is trustworthy; the rest is recomputed.
+			break
+		}
+		ck.done[shard.Key{Scenario: r.Scenario, Profile: r.Profile, Seed: r.Seed}] = r.Run
+	}
+	return nil
+}
+
+// lookup returns the journaled record for a run key, if the run already
+// completed in a previous (or this) process.
+func (ck *checkpoint) lookup(k shard.Key) (runRecord, bool) {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	rec, ok := ck.done[k]
+	return rec, ok
+}
+
+// record journals one completed run: one appended JSON line, flushed by the
+// unbuffered write itself, so the watermark survives a kill immediately
+// after the run finishes.
+func (ck *checkpoint) record(k shard.Key, rec runRecord) error {
+	line, err := json.Marshal(checkpointRecord{Scenario: k.Scenario, Profile: k.Profile, Seed: k.Seed, Run: rec})
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal record: %w", err)
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if _, dup := ck.done[k]; dup {
+		return nil
+	}
+	if _, err := ck.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("checkpoint: append record: %w", err)
+	}
+	ck.done[k] = rec
+	return nil
+}
+
+// close releases the journal handle.
+func (ck *checkpoint) close() error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return ck.f.Close()
+}

@@ -1,0 +1,155 @@
+package campaign
+
+// Merging: recombining the per-shard outputs of a sharded sweep into one
+// result byte-identical to the unsharded sweep. Every shard reports every
+// cell (zero-owned cells carry empty per-seed slices), so merging is a
+// positional zip over cells with a per-seed union — validated end to end:
+// the shard set must be complete and mutually consistent, and every seed
+// must come from exactly the shard that owns it under the stable hash.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/shard"
+)
+
+// MergeSweeps combines a complete set of sharded sweep results into the
+// single result an unsharded sweep would have produced. Inputs may arrive in
+// any order. The merge fails loudly on anything that would silently corrupt
+// the combined artifact: a missing or duplicate shard, results from
+// different campaigns (version, duration, seed range or cell set mismatch),
+// a seed reported by a shard that does not own it, or a seed missing or
+// duplicated across the set.
+func MergeSweeps(in []*SweepResult) (*SweepResult, error) {
+	if len(in) == 0 {
+		return nil, fmt.Errorf("merge: no shard results")
+	}
+	first := in[0]
+	if first.Shard == nil {
+		return nil, fmt.Errorf("merge: result 0 has no shard header (not the output of a sharded sweep)")
+	}
+	count := first.Shard.Count
+	if count < 1 || len(in) != count {
+		return nil, fmt.Errorf("merge: got %d result(s) for a %d-shard campaign", len(in), count)
+	}
+	seen := make([]bool, count)
+	for i, r := range in {
+		if r.Shard == nil {
+			return nil, fmt.Errorf("merge: result %d has no shard header", i)
+		}
+		if r.Shard.Count != count {
+			return nil, fmt.Errorf("merge: result %d is shard %d/%d, want count %d", i, r.Shard.Index, r.Shard.Count, count)
+		}
+		if r.Shard.Index < 0 || r.Shard.Index >= count {
+			return nil, fmt.Errorf("merge: result %d has shard index %d out of range [0,%d)", i, r.Shard.Index, count)
+		}
+		if seen[r.Shard.Index] {
+			return nil, fmt.Errorf("merge: shard %d/%d appears twice", r.Shard.Index, count)
+		}
+		seen[r.Shard.Index] = true
+		if r.Version != first.Version {
+			return nil, fmt.Errorf("merge: engine version mismatch: %q vs %q", r.Version, first.Version)
+		}
+		if r.Duration != first.Duration || r.Seeds != first.Seeds {
+			return nil, fmt.Errorf("merge: shard %d ran a different campaign (duration/seeds mismatch)", r.Shard.Index)
+		}
+		if len(r.Cells) != len(first.Cells) {
+			return nil, fmt.Errorf("merge: shard %d has %d cell(s), want %d", r.Shard.Index, len(r.Cells), len(first.Cells))
+		}
+	}
+
+	out := &SweepResult{Version: first.Version, Duration: first.Duration, Seeds: first.Seeds}
+	for ci := range first.Cells {
+		cell, err := mergeCell(in, ci, count)
+		if err != nil {
+			return nil, err
+		}
+		out.Cells = append(out.Cells, cell)
+	}
+	return out, nil
+}
+
+// mergeCell zips cell ci across all shards: per-seed runs union by seed
+// (each from its owning shard, verified), aggregates recomputed over the
+// union, metadata taken from shard 0's copy.
+func mergeCell(in []*SweepResult, ci, count int) (SweepCell, error) {
+	ref := in[0].Cells[ci]
+	bySeed := make(map[int64]SeedRun)
+	for _, r := range in {
+		c := r.Cells[ci]
+		if c.Scenario != ref.Scenario || c.Profile != ref.Profile {
+			return SweepCell{}, fmt.Errorf("merge: shard %d cell %d is %s/%s, want %s/%s",
+				r.Shard.Index, ci, c.Scenario, c.Profile, ref.Scenario, ref.Profile)
+		}
+		for _, run := range c.Result.PerSeed {
+			k := shard.Key{Scenario: c.Scenario, Profile: c.Profile, Seed: run.Seed}
+			if owner := shard.Assign(k, count); owner != r.Shard.Index {
+				return SweepCell{}, fmt.Errorf("merge: shard %d reports %s seed %d owned by shard %d",
+					r.Shard.Index, c.Scenario+"/"+c.Profile, run.Seed, owner)
+			}
+			if _, dup := bySeed[run.Seed]; dup {
+				return SweepCell{}, fmt.Errorf("merge: %s seed %d appears twice", c.Scenario+"/"+c.Profile, run.Seed)
+			}
+			bySeed[run.Seed] = run
+		}
+	}
+
+	seeds := ref.Result.Seeds.Seeds()
+	merged := &Result{
+		Version:      ref.Result.Version,
+		ExperimentID: ref.Result.ExperimentID,
+		Section:      ref.Result.Section,
+		Description:  ref.Result.Description,
+		Params:       ref.Result.Params,
+		Seeds:        ref.Result.Seeds,
+	}
+	missing := make([]int64, 0)
+	for _, s := range seeds {
+		run, ok := bySeed[s]
+		if !ok {
+			missing = append(missing, s)
+			continue
+		}
+		merged.PerSeed = append(merged.PerSeed, run)
+	}
+	if len(missing) > 0 {
+		return SweepCell{}, fmt.Errorf("merge: %s/%s missing seed(s) %v (incomplete shard set?)",
+			ref.Scenario, ref.Profile, missing)
+	}
+	if extra := len(bySeed) - len(seeds); extra > 0 {
+		got := make([]int64, 0, len(bySeed))
+		for s := range bySeed {
+			got = append(got, s)
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		return SweepCell{}, fmt.Errorf("merge: %s/%s has %d run(s) outside the declared seed range %s: got seeds %v",
+			ref.Scenario, ref.Profile, extra, ref.Result.Seeds, got)
+	}
+	merged.Aggregates = aggregate(merged.PerSeed)
+	return SweepCell{Scenario: ref.Scenario, Profile: ref.Profile, Result: merged}, nil
+}
+
+// MergeSweepJSON merges serialized shard results (the -json export of
+// sharded campaign runs) and returns the merged result plus its indented
+// JSON — the byte-identity surface the CLI merge mode writes to stdout.
+func MergeSweepJSON(blobs [][]byte) (*SweepResult, []byte, error) {
+	in := make([]*SweepResult, 0, len(blobs))
+	for i, b := range blobs {
+		var r SweepResult
+		if err := json.Unmarshal(b, &r); err != nil {
+			return nil, nil, fmt.Errorf("merge: parse input %d: %w", i, err)
+		}
+		in = append(in, &r)
+	}
+	merged, err := MergeSweeps(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := merged.JSON()
+	if err != nil {
+		return nil, nil, err
+	}
+	return merged, out, nil
+}

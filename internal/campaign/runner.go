@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/report"
+	"repro/internal/version"
 )
 
 // SeedRange is the campaign seed convention: Count consecutive seeds starting
@@ -45,6 +46,12 @@ type Options struct {
 	// Params is the per-run parameter template; Seed is overridden per seed
 	// and zero fields are filled from the experiment defaults.
 	Params Params
+	// SeedFilter, when non-nil, restricts the campaign to the seeds it
+	// accepts — the seam sharded sweeps partition the cube through. The
+	// result keeps the full Seeds range as metadata; PerSeed carries only
+	// the accepted seeds, and a filter that accepts none yields an empty
+	// (not failed) result so every shard can report every cell.
+	SeedFilter func(int64) bool
 }
 
 // SeedRun is the per-seed record of a campaign.
@@ -74,7 +81,10 @@ type Aggregate struct {
 }
 
 // Result is the outcome of one experiment campaigned over a seed range.
+// Version heads the record: every exported result names the engine version
+// that produced it, so archived artifacts and cache entries stay traceable.
 type Result struct {
+	Version      string      `json:"version"`
 	ExperimentID string      `json:"experimentId"`
 	Section      string      `json:"section,omitempty"`
 	Description  string      `json:"description,omitempty"`
@@ -109,6 +119,28 @@ func Run(ctx context.Context, exp Experiment, opts Options) (*Result, error) {
 		// One run tells the whole story; n=1 in the aggregate is honest.
 		seeds = seeds[:1]
 		opts.Seeds = SeedRange{Base: seeds[0], Count: 1}
+	}
+	if opts.SeedFilter != nil {
+		kept := make([]int64, 0, len(seeds))
+		for _, s := range seeds {
+			if opts.SeedFilter(s) {
+				kept = append(kept, s)
+			}
+		}
+		seeds = kept
+		if len(seeds) == 0 {
+			// Every seed of this cell hashes to another shard: an empty
+			// slice is a valid answer, not a failure.
+			return &Result{
+				Version:      version.Engine,
+				ExperimentID: exp.ID,
+				Section:      exp.Section,
+				Description:  exp.Description,
+				Params:       opts.Params.WithDefaults(exp.Defaults),
+				Seeds:        opts.Seeds,
+				Aggregates:   aggregate(nil),
+			}, nil
+		}
 	}
 	workers := opts.Parallel
 	if workers < 1 {
@@ -154,6 +186,7 @@ func Run(ctx context.Context, exp Experiment, opts Options) (*Result, error) {
 	}
 
 	res := &Result{
+		Version:      version.Engine,
 		ExperimentID: exp.ID,
 		Section:      exp.Section,
 		Description:  exp.Description,

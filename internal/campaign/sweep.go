@@ -4,10 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/report"
+	"repro/internal/resultcache"
 	"repro/internal/scenario"
+	"repro/internal/shard"
+	"repro/internal/version"
 	"repro/internal/worksite"
 )
 
@@ -26,7 +30,7 @@ type SweepOptions struct {
 	Parallel int
 	// Duration is the simulated duration per run (0 = 10 minutes).
 	Duration time.Duration
-	// SampleEvery, when positive, records a downsampled per-tick timeseries
+	// SampleEvery, when positive, records a downsampled per-seed timeseries
 	// in every SeedRun: one TimePoint per SampleEvery of simulated time.
 	// Sampling is a passive observer; it never changes run outcomes.
 	SampleEvery time.Duration
@@ -37,12 +41,80 @@ type SweepOptions struct {
 	// EarlyStop nil, sweep output is byte-identical to a sweep without
 	// session instrumentation, across any Parallel width.
 	EarlyStop func(worksite.TickSnapshot) bool
+	// EarlyStopName names the EarlyStop predicate (EarlyStopByName) so it
+	// can participate in cache and checkpoint keys. Required when EarlyStop
+	// is non-nil and CacheDir or CheckpointDir is set: an opaque func has no
+	// content address, so an unnamed predicate cannot be cached.
+	EarlyStopName string
+	// Shard, when enabled (Count > 1), restricts the sweep to the runs the
+	// selected shard owns under the stable hash partition of internal/shard,
+	// so the cube can run as independent processes. Every cell still appears
+	// in the result (shard outputs carry the full cell order); cells whose
+	// runs all hash elsewhere have empty per-seed slices. MergeSweeps
+	// recombines a complete shard set into bytes identical to an unsharded
+	// sweep.
+	Shard shard.Sel
+	// CacheDir, when non-empty, enables the content-addressed result cache
+	// rooted there: every completed run is stored keyed on (canonical spec
+	// hash, profile, seed, duration, sampling, early-stop name, engine
+	// version), and runs whose key already has a verified entry are served
+	// from disk instead of recomputed.
+	CacheDir string
+	// CheckpointDir, when non-empty, journals every completed run into a
+	// per-shard JSON-lines file under the directory, and replays the journal
+	// on start: a killed campaign re-run with identical options resumes at
+	// its completed-run watermark instead of restarting from zero.
+	CheckpointDir string
 	// OnRunDone, when non-nil, is invoked once after every completed
 	// (scenario, profile, seed) run — the progress seam async consumers
 	// (the worksimd daemon) count seeds with. It is called from pool
 	// worker goroutines and must be safe for concurrent use; it observes
-	// progress only and must not influence results.
+	// progress only and must not influence results. Runs served from the
+	// cache or checkpoint count as done.
 	OnRunDone func()
+	// OnRunCached, when non-nil, is invoked (after OnRunDone, from pool
+	// goroutines) for every run served from the result cache.
+	OnRunCached func()
+	// Stats, when non-nil, receives the sweep's live execution counters:
+	// how many runs were simulated fresh, served from cache, or resumed
+	// from a checkpoint. Counters are never part of the sweep's JSON export,
+	// so a warm-cache re-run stays byte-identical to its cold run.
+	Stats *SweepStats
+}
+
+// SweepStats counts how a sweep's runs were satisfied. All counters are
+// atomically updated by pool workers; read a consistent snapshot with View.
+type SweepStats struct {
+	executed     atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	cacheCorrupt atomic.Int64
+	resumed      atomic.Int64
+}
+
+// SweepStatsView is a point-in-time snapshot of SweepStats.
+type SweepStatsView struct {
+	// Executed counts runs simulated fresh in this process.
+	Executed int64 `json:"executed"`
+	// CacheHits / CacheMisses / CacheCorrupt are the result-cache counters:
+	// verified entries served, lookups that found nothing, and damaged
+	// entries that were rejected and recomputed.
+	CacheHits    int64 `json:"cacheHits"`
+	CacheMisses  int64 `json:"cacheMisses"`
+	CacheCorrupt int64 `json:"cacheCorrupt"`
+	// Resumed counts runs replayed from a checkpoint journal.
+	Resumed int64 `json:"resumed"`
+}
+
+// View snapshots the counters.
+func (s *SweepStats) View() SweepStatsView {
+	return SweepStatsView{
+		Executed:     s.executed.Load(),
+		CacheHits:    s.cacheHits.Load(),
+		CacheMisses:  s.cacheMisses.Load(),
+		CacheCorrupt: s.cacheCorrupt.Load(),
+		Resumed:      s.resumed.Load(),
+	}
 }
 
 // TimePoint is one downsampled sample of a run's per-tick timeseries — the
@@ -91,7 +163,9 @@ func SampleObserver(every time.Duration, into *[]TimePoint) worksite.Observer {
 }
 
 // EarlyStopByName resolves a named early-stop predicate — the CLI surface
-// of SweepOptions.EarlyStop.
+// of SweepOptions.EarlyStop. Callers that also cache or checkpoint should
+// record the name in SweepOptions.EarlyStopName so the predicate enters the
+// run key.
 func EarlyStopByName(name string) (func(worksite.TickSnapshot) bool, error) {
 	switch name {
 	case "":
@@ -120,19 +194,37 @@ type SweepCell struct {
 	Result   *Result `json:"result"`
 }
 
+// ShardInfo records which slice of the cube a sharded sweep result covers.
+type ShardInfo struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
 // SweepResult is the outcome of a full scenario × profile × seed sweep.
 // Cells are ordered scenario-major in the requested order, so rendering and
-// JSON export are deterministic.
+// JSON export are deterministic. Version heads the export: every sweep
+// artifact names the engine version that produced it.
 type SweepResult struct {
+	Version  string        `json:"version"`
 	Duration time.Duration `json:"durationNs"`
 	Seeds    SeedRange     `json:"seeds"`
-	Cells    []SweepCell   `json:"cells"`
+	// Shard is set on the output of a sharded sweep and stripped by
+	// MergeSweeps, so merged output is byte-identical to an unsharded sweep.
+	Shard *ShardInfo  `json:"shard,omitempty"`
+	Cells []SweepCell `json:"cells"`
 }
 
 // Sweep fans the scenario × profile × seed cross-product out with the
 // existing bounded pool and aggregation machinery: each cell becomes an
 // ephemeral experiment campaigned over the seed range, so per-cell output is
 // byte-reproducible regardless of Parallel.
+//
+// With Shard enabled only the owned slice of the cube executes; with
+// CacheDir set completed runs are stored in (and served from) the
+// content-addressed result cache; with CheckpointDir set completed runs are
+// journaled so a killed campaign resumes at its watermark. None of the three
+// changes a single byte of the result for the runs they cover — they only
+// change where the bytes come from.
 //
 // The context cancels the sweep end to end: the per-cell worker pool stops
 // claiming seeds, in-flight simulation runs stop between control ticks, and
@@ -154,8 +246,61 @@ func Sweep(ctx context.Context, opts SweepOptions) (*SweepResult, error) {
 	if d <= 0 {
 		d = DefaultSweepDuration
 	}
+	if err := opts.Shard.Validate(); err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
 
-	res := &SweepResult{Duration: d, Seeds: opts.Seeds}
+	env := &sweepEnv{opts: opts, stats: opts.Stats}
+	if env.stats == nil {
+		env.stats = &SweepStats{}
+	}
+	if opts.CacheDir != "" || opts.CheckpointDir != "" {
+		if opts.EarlyStop != nil && opts.EarlyStopName == "" {
+			return nil, fmt.Errorf("sweep: caching/checkpointing requires EarlyStopName when an EarlyStop predicate is set (an opaque func has no content address)")
+		}
+	}
+	if opts.CacheDir != "" {
+		c, err := resultcache.Open(opts.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		env.cache = c
+		// Fold the cache's own counters into the sweep stats once the
+		// sweep ends, however it ends.
+		defer func() {
+			cs := c.Stats()
+			env.stats.cacheMisses.Store(cs.Misses)
+			env.stats.cacheCorrupt.Store(cs.Corrupt)
+		}()
+	}
+	if opts.CheckpointDir != "" {
+		count := opts.Shard.Count
+		if count < 1 {
+			count = 1
+		}
+		hdr := checkpointHeader{
+			Kind:       checkpointKind,
+			Version:    version.Engine,
+			DurationNs: int64(d),
+			Seeds:      opts.Seeds,
+			SampleNs:   int64(opts.SampleEvery),
+			EarlyStop:  opts.EarlyStopName,
+			Shard:      ShardInfo{Index: opts.Shard.Index, Count: count},
+			Scenarios:  names,
+			Profiles:   profiles,
+		}
+		ck, err := openCheckpoint(opts.CheckpointDir, opts.Shard, hdr)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		defer ck.close()
+		env.ckpt = ck
+	}
+
+	res := &SweepResult{Version: version.Engine, Duration: d, Seeds: opts.Seeds}
+	if opts.Shard.Enabled() {
+		res.Shard = &ShardInfo{Index: opts.Shard.Index, Count: opts.Shard.Count}
+	}
 	for _, name := range names {
 		spec, err := scenario.Get(name)
 		if err != nil {
@@ -166,42 +311,153 @@ func Sweep(ctx context.Context, opts SweepOptions) (*SweepResult, error) {
 			if err != nil {
 				return nil, fmt.Errorf("sweep: %w", err)
 			}
-			cellSpec := spec.WithProfile(prof)
+			cell := cellRef{scenario: name, profile: profName, spec: spec.WithProfile(prof)}
+			if env.cache != nil {
+				h, err := cell.spec.Hash()
+				if err != nil {
+					return nil, fmt.Errorf("sweep %s/%s: %w", name, profName, err)
+				}
+				cell.specHash = h
+			}
 			exp := Experiment{
 				ID:          name + "/" + profName,
 				Section:     "sweep",
 				Description: spec.Description,
 				Defaults:    Params{Duration: d},
 				Run: func(ctx context.Context, p Params) (Outcome, error) {
-					return runSweepCell(ctx, cellSpec, p, opts)
+					return env.runCell(ctx, cell, p)
 				},
 			}
-			cell, err := Run(ctx, exp, Options{Seeds: opts.Seeds, Parallel: opts.Parallel})
+			runOpts := Options{Seeds: opts.Seeds, Parallel: opts.Parallel}
+			if opts.Shard.Enabled() {
+				sel := opts.Shard
+				runOpts.SeedFilter = func(seed int64) bool {
+					return sel.Owns(shard.Key{Scenario: cell.scenario, Profile: cell.profile, Seed: seed})
+				}
+			}
+			cellRes, err := Run(ctx, exp, runOpts)
 			if err != nil {
 				return nil, fmt.Errorf("sweep %s: %w", exp.ID, err)
 			}
-			res.Cells = append(res.Cells, SweepCell{Scenario: name, Profile: profName, Result: cell})
+			res.Cells = append(res.Cells, SweepCell{Scenario: name, Profile: profName, Result: cellRes})
 		}
 	}
 	return res, nil
 }
 
-// runSweepCell executes one (scenario, profile, seed) run. The plain path
-// (no sampling, no early stop) closes the loop with scenario.Run; the
+// sweepEnv carries the per-sweep caching/checkpointing machinery into the
+// pool workers.
+type sweepEnv struct {
+	opts  SweepOptions
+	stats *SweepStats
+	cache *resultcache.Cache
+	ckpt  *checkpoint
+}
+
+// cellRef names one (scenario, profile) cell with its compiled spec and —
+// when the cache is on — the spec's canonical hash, computed once per cell.
+type cellRef struct {
+	scenario string
+	profile  string
+	spec     scenario.Spec
+	specHash string
+}
+
+// runRecord is the serialized form of one completed run: the payload both
+// the result cache and the checkpoint journal store. It mirrors SeedRun
+// minus the seed (the key carries it), so a replayed record reconstructs the
+// exact Outcome byte for byte.
+type runRecord struct {
+	Metrics     map[string]float64 `json:"metrics"`
+	Timeseries  []TimePoint        `json:"timeseries,omitempty"`
+	StoppedAtNs int64              `json:"stoppedAtNs,omitempty"`
+}
+
+func (r runRecord) outcome() Outcome {
+	return Outcome{Metrics: r.Metrics, Timeseries: r.Timeseries, StoppedAt: time.Duration(r.StoppedAtNs)}
+}
+
+func recordOf(out Outcome) runRecord {
+	return runRecord{Metrics: out.Metrics, Timeseries: out.Timeseries, StoppedAtNs: int64(out.StoppedAt)}
+}
+
+// runCell satisfies one (scenario, profile, seed) run: from the checkpoint
+// journal, the result cache, or a fresh simulation — in that order. Fresh
+// results are stored back into both before progress is reported, so a kill
+// immediately after a run completes never loses it.
+func (e *sweepEnv) runCell(ctx context.Context, cell cellRef, p Params) (Outcome, error) {
+	key := shard.Key{Scenario: cell.scenario, Profile: cell.profile, Seed: p.Seed}
+	if e.ckpt != nil {
+		if rec, ok := e.ckpt.lookup(key); ok {
+			e.stats.resumed.Add(1)
+			e.done()
+			return rec.outcome(), nil
+		}
+	}
+	var ck resultcache.Key
+	if e.cache != nil {
+		ck = resultcache.Key{
+			SpecHash:   cell.specHash,
+			Profile:    cell.profile,
+			Seed:       p.Seed,
+			DurationNs: int64(p.Duration),
+			SampleNs:   int64(e.opts.SampleEvery),
+			EarlyStop:  e.opts.EarlyStopName,
+			Engine:     version.Engine,
+		}
+		var rec runRecord
+		hit, err := e.cache.Get(ck, &rec)
+		if err != nil {
+			return Outcome{}, err
+		}
+		if hit {
+			if e.ckpt != nil {
+				if err := e.ckpt.record(key, rec); err != nil {
+					return Outcome{}, err
+				}
+			}
+			e.stats.cacheHits.Add(1)
+			e.done()
+			if e.opts.OnRunCached != nil {
+				e.opts.OnRunCached()
+			}
+			return rec.outcome(), nil
+		}
+	}
+
+	out, err := e.execute(ctx, cell.spec, p)
+	if err != nil {
+		return Outcome{}, err
+	}
+	rec := recordOf(out)
+	if e.cache != nil {
+		if err := e.cache.Put(ck, rec); err != nil {
+			return Outcome{}, err
+		}
+	}
+	if e.ckpt != nil {
+		if err := e.ckpt.record(key, rec); err != nil {
+			return Outcome{}, err
+		}
+	}
+	e.stats.executed.Add(1)
+	e.done()
+	return out, nil
+}
+
+func (e *sweepEnv) done() {
+	if e.opts.OnRunDone != nil {
+		e.opts.OnRunDone()
+	}
+}
+
+// execute runs one (scenario, profile, seed) simulation. The plain path (no
+// sampling, no early stop) closes the loop with scenario.Run; the
 // instrumented path drives a session tick by tick, so the two are the same
 // simulation advanced in different strides — deterministically identical
 // when no predicate cuts the run short.
-func runSweepCell(ctx context.Context, spec scenario.Spec, p Params, opts SweepOptions) (out Outcome, err error) {
-	if opts.OnRunDone != nil {
-		// Count completed runs only: a failed or cancelled run is not
-		// progress.
-		defer func() {
-			if err == nil {
-				opts.OnRunDone()
-			}
-		}()
-	}
-	if opts.SampleEvery <= 0 && opts.EarlyStop == nil {
+func (e *sweepEnv) execute(ctx context.Context, spec scenario.Spec, p Params) (Outcome, error) {
+	if e.opts.SampleEvery <= 0 && e.opts.EarlyStop == nil {
 		rep, err := scenario.Run(ctx, spec, p.Seed, p.Duration)
 		if err != nil {
 			return Outcome{}, err
@@ -214,14 +470,14 @@ func runSweepCell(ctx context.Context, spec scenario.Spec, p Params, opts SweepO
 		return Outcome{}, err
 	}
 	var series []TimePoint
-	if opts.SampleEvery > 0 {
-		sess.Subscribe(SampleObserver(opts.SampleEvery, &series))
+	if e.opts.SampleEvery > 0 {
+		sess.Subscribe(SampleObserver(e.opts.SampleEvery, &series))
 	}
-	stopped, err := sess.RunUntil(ctx, opts.EarlyStop)
+	stopped, err := sess.RunUntil(ctx, e.opts.EarlyStop)
 	if err != nil {
 		return Outcome{}, err
 	}
-	out = Outcome{Metrics: SweepMetrics(sess.Report()), Timeseries: series}
+	out := Outcome{Metrics: SweepMetrics(sess.Report()), Timeseries: series}
 	if stopped {
 		out.StoppedAt = sess.Now()
 	}

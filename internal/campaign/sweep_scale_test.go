@@ -1,0 +1,502 @@
+package campaign_test
+
+// Scale-out tests: sharding, the content-addressed result cache and the
+// checkpoint journal must never change a byte of sweep output — only where
+// the bytes come from. The byte-identity comparisons here are the contract
+// the CLI's -shard/-merge/-cache/-checkpoint modes stand on, including a
+// genuine process kill (re-exec helper) between seeds.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/shard"
+	"repro/internal/version"
+)
+
+// scaleOpts is the shared small-but-nontrivial campaign every test in this
+// file runs: 2 scenarios × 2 profiles × 4 seeds = 16 runs.
+func scaleOpts() campaign.SweepOptions {
+	return campaign.SweepOptions{
+		Scenarios: []string{"baseline", "gnss-spoof"},
+		Profiles:  []string{"unsecured", "secured"},
+		Seeds:     campaign.SeedRange{Base: 1, Count: 4},
+		Parallel:  4,
+		Duration:  2 * time.Minute,
+	}
+}
+
+func sweepBytes(t *testing.T, opts campaign.SweepOptions) []byte {
+	t.Helper()
+	res, err := campaign.Sweep(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	j, err := res.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	return j
+}
+
+// TestShardMergeByteIdentity: running every shard in isolation and merging
+// reproduces the single-process sweep byte for byte — through the typed API
+// and through the serialized (CLI) surface.
+func TestShardMergeByteIdentity(t *testing.T) {
+	single := sweepBytes(t, scaleOpts())
+
+	const shards = 3
+	parts := make([]*campaign.SweepResult, shards)
+	blobs := make([][]byte, shards)
+	for i := 0; i < shards; i++ {
+		opts := scaleOpts()
+		opts.Shard = shard.Sel{Index: i, Count: shards}
+		res, err := campaign.Sweep(context.Background(), opts)
+		if err != nil {
+			t.Fatalf("Sweep(shard %d): %v", i, err)
+		}
+		if res.Shard == nil || res.Shard.Index != i || res.Shard.Count != shards {
+			t.Fatalf("shard %d result header = %+v", i, res.Shard)
+		}
+		if len(res.Cells) != 4 {
+			t.Fatalf("shard %d reports %d cells, want all 4", i, len(res.Cells))
+		}
+		parts[i] = res
+		if blobs[i], err = res.JSON(); err != nil {
+			t.Fatalf("JSON(shard %d): %v", i, err)
+		}
+	}
+
+	// Merge in a scrambled order: input order must not matter.
+	merged, err := campaign.MergeSweeps([]*campaign.SweepResult{parts[2], parts[0], parts[1]})
+	if err != nil {
+		t.Fatalf("MergeSweeps: %v", err)
+	}
+	if merged.Shard != nil {
+		t.Fatal("merged result still carries a shard header")
+	}
+	got, err := merged.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	if string(got) != string(single) {
+		t.Fatal("merged shard output differs from the single-process sweep")
+	}
+
+	_, fromBlobs, err := campaign.MergeSweepJSON(blobs)
+	if err != nil {
+		t.Fatalf("MergeSweepJSON: %v", err)
+	}
+	if string(fromBlobs) != string(single) {
+		t.Fatal("MergeSweepJSON output differs from the single-process sweep")
+	}
+
+	// The shard partition actually split the work: no shard ran everything,
+	// and together they ran each run exactly once.
+	totalRuns := 0
+	for _, p := range parts {
+		runs := 0
+		for _, c := range p.Cells {
+			runs += len(c.Result.PerSeed)
+		}
+		if runs == 16 {
+			t.Fatal("one shard owned every run; the partition did not split")
+		}
+		totalRuns += runs
+	}
+	if totalRuns != 16 {
+		t.Fatalf("shards ran %d runs in total, want exactly 16", totalRuns)
+	}
+}
+
+// TestWarmCacheByteIdentity: a second sweep over a warm cache executes
+// nothing, serves every run from disk, and produces identical bytes.
+func TestWarmCacheByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	plain := sweepBytes(t, scaleOpts())
+
+	var cold campaign.SweepStats
+	coldOpts := scaleOpts()
+	coldOpts.CacheDir = dir
+	coldOpts.Stats = &cold
+	coldBytes := sweepBytes(t, coldOpts)
+	cs := cold.View()
+	if cs.Executed != 16 || cs.CacheHits != 0 || cs.CacheMisses != 16 {
+		t.Fatalf("cold stats = %+v, want 16 executed / 16 misses", cs)
+	}
+	if string(coldBytes) != string(plain) {
+		t.Fatal("cache-enabled sweep output differs from the plain sweep")
+	}
+
+	var warm campaign.SweepStats
+	var cachedCalls atomic.Int64
+	warmOpts := scaleOpts()
+	warmOpts.CacheDir = dir
+	warmOpts.Stats = &warm
+	warmOpts.OnRunCached = func() { cachedCalls.Add(1) }
+	warmBytes := sweepBytes(t, warmOpts)
+	ws := warm.View()
+	if ws.Executed != 0 || ws.CacheHits != 16 || ws.CacheMisses != 0 || ws.CacheCorrupt != 0 {
+		t.Fatalf("warm stats = %+v, want every run served from cache", ws)
+	}
+	if cachedCalls.Load() != 16 {
+		t.Fatalf("OnRunCached fired %d times, want 16", cachedCalls.Load())
+	}
+	if string(warmBytes) != string(coldBytes) {
+		t.Fatal("warm-cache sweep output differs from the cold run")
+	}
+}
+
+// TestCacheCorruptEntryRecomputed: damaging one cached entry costs exactly
+// one recomputation — the corrupt entry is detected, evicted and recomputed,
+// and output stays byte-identical.
+func TestCacheCorruptEntryRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	coldOpts := scaleOpts()
+	coldOpts.CacheDir = dir
+	coldBytes := sweepBytes(t, coldOpts)
+
+	// Flip one bit near the end of one entry (inside the payload, where only
+	// the checksum catches it).
+	var entries []string
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(path, ".json") {
+			entries = append(entries, path)
+		}
+		return nil
+	})
+	if len(entries) != 16 {
+		t.Fatalf("cache holds %d entries, want 16", len(entries))
+	}
+	b, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-10] ^= 0x01
+	if err := os.WriteFile(entries[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stats campaign.SweepStats
+	opts := scaleOpts()
+	opts.CacheDir = dir
+	opts.Stats = &stats
+	got := sweepBytes(t, opts)
+	sv := stats.View()
+	if sv.CacheCorrupt != 1 || sv.Executed != 1 || sv.CacheHits != 15 {
+		t.Fatalf("stats after corruption = %+v, want 1 corrupt / 1 executed / 15 hits", sv)
+	}
+	if string(got) != string(coldBytes) {
+		t.Fatal("output after corruption recovery differs from the cold run")
+	}
+}
+
+// TestCacheKeyCoversRunShape: changing the simulated duration (or sampling,
+// or the early-stop predicate) changes every run key, so a warm cache for
+// one shape serves nothing for another.
+func TestCacheKeyCoversRunShape(t *testing.T) {
+	dir := t.TempDir()
+	coldOpts := scaleOpts()
+	coldOpts.CacheDir = dir
+	_ = sweepBytes(t, coldOpts)
+
+	var stats campaign.SweepStats
+	longer := scaleOpts()
+	longer.CacheDir = dir
+	longer.Duration = 3 * time.Minute
+	longer.Stats = &stats
+	_ = sweepBytes(t, longer)
+	sv := stats.View()
+	if sv.CacheHits != 0 || sv.Executed != 16 {
+		t.Fatalf("stats for changed duration = %+v, want 0 hits / 16 executed", sv)
+	}
+}
+
+// TestUnnamedEarlyStopRejected: an opaque early-stop func cannot be content
+// addressed, so enabling the cache or checkpoint without naming it is an
+// error rather than a silently wrong key.
+func TestUnnamedEarlyStopRejected(t *testing.T) {
+	stop, err := campaign.EarlyStopByName("collision")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, enable := range []func(*campaign.SweepOptions){
+		func(o *campaign.SweepOptions) { o.CacheDir = t.TempDir() },
+		func(o *campaign.SweepOptions) { o.CheckpointDir = t.TempDir() },
+	} {
+		opts := scaleOpts()
+		opts.EarlyStop = stop // EarlyStopName deliberately empty
+		enable(&opts)
+		if _, err := campaign.Sweep(context.Background(), opts); err == nil {
+			t.Fatal("Sweep accepted an unnamed EarlyStop with caching enabled")
+		}
+	}
+}
+
+// TestCheckpointResumeInProcess: cancel a checkpointed sweep mid-flight,
+// re-run it, and the journaled runs are replayed instead of recomputed —
+// with output byte-identical to an uninterrupted sweep.
+func TestCheckpointResumeInProcess(t *testing.T) {
+	plain := sweepBytes(t, scaleOpts())
+	dir := t.TempDir()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var done atomic.Int64
+	first := scaleOpts()
+	first.CheckpointDir = dir
+	first.Parallel = 1
+	first.OnRunDone = func() {
+		if done.Add(1) == 3 {
+			cancel()
+		}
+	}
+	if _, err := campaign.Sweep(ctx, first); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted sweep returned %v, want context.Canceled", err)
+	}
+	if done.Load() < 3 {
+		t.Fatalf("only %d runs completed before cancel", done.Load())
+	}
+
+	var stats campaign.SweepStats
+	second := scaleOpts()
+	second.CheckpointDir = dir
+	second.Stats = &stats
+	got := sweepBytes(t, second)
+	sv := stats.View()
+	if sv.Resumed < 3 {
+		t.Fatalf("resume replayed %d runs, want at least the 3 journaled ones", sv.Resumed)
+	}
+	if sv.Resumed+sv.Executed != 16 {
+		t.Fatalf("stats = %+v: resumed+executed != 16", sv)
+	}
+	if string(got) != string(plain) {
+		t.Fatal("resumed sweep output differs from an uninterrupted sweep")
+	}
+
+	// A third run replays everything and executes nothing.
+	var all campaign.SweepStats
+	third := scaleOpts()
+	third.CheckpointDir = dir
+	third.Stats = &all
+	_ = sweepBytes(t, third)
+	if av := all.View(); av.Resumed != 16 || av.Executed != 0 {
+		t.Fatalf("fully-journaled rerun stats = %+v, want 16 resumed / 0 executed", av)
+	}
+}
+
+// TestCheckpointRejectsForeignJournal: a journal written by a campaign with
+// different parameters must refuse to resume, not corrupt the output.
+func TestCheckpointRejectsForeignJournal(t *testing.T) {
+	dir := t.TempDir()
+	first := scaleOpts()
+	first.CheckpointDir = dir
+	_ = sweepBytes(t, first)
+
+	changed := scaleOpts()
+	changed.CheckpointDir = dir
+	changed.Duration = 3 * time.Minute
+	_, err := campaign.Sweep(context.Background(), changed)
+	if err == nil || !strings.Contains(err.Error(), "different campaign") {
+		t.Fatalf("foreign journal resume returned %v, want a different-campaign error", err)
+	}
+}
+
+// TestVersionStamp: sweep and per-cell results carry the engine version,
+// and it leads the JSON export.
+func TestVersionStamp(t *testing.T) {
+	res, err := campaign.Sweep(context.Background(), campaign.SweepOptions{
+		Scenarios: []string{"baseline"},
+		Profiles:  []string{"unsecured"},
+		Seeds:     campaign.SeedRange{Base: 1, Count: 1},
+		Duration:  2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if res.Version != version.Engine {
+		t.Fatalf("SweepResult.Version = %q, want %q", res.Version, version.Engine)
+	}
+	for _, c := range res.Cells {
+		if c.Result.Version != version.Engine {
+			t.Fatalf("cell %s/%s Version = %q, want %q", c.Scenario, c.Profile, c.Result.Version, version.Engine)
+		}
+	}
+	j, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(j), "{\n  \"version\": \""+version.Engine+"\"") {
+		t.Fatalf("JSON export does not lead with the version stamp: %.60s", j)
+	}
+}
+
+// TestMergeValidation: every way a shard set can be wrong is a loud error.
+func TestMergeValidation(t *testing.T) {
+	shardResult := func(i, n int) *campaign.SweepResult {
+		opts := scaleOpts()
+		opts.Shard = shard.Sel{Index: i, Count: n}
+		res, err := campaign.Sweep(context.Background(), opts)
+		if err != nil {
+			t.Fatalf("Sweep(%d/%d): %v", i, n, err)
+		}
+		return res
+	}
+	s0, s1 := shardResult(0, 2), shardResult(1, 2)
+
+	cases := []struct {
+		name string
+		in   []*campaign.SweepResult
+		want string
+	}{
+		{"empty", nil, "no shard results"},
+		{"missing shard", []*campaign.SweepResult{s0}, "got 1 result(s)"},
+		{"duplicate shard", []*campaign.SweepResult{s0, s0}, "appears twice"},
+		{"unsharded input", func() []*campaign.SweepResult {
+			r := *s0
+			r.Shard = nil
+			return []*campaign.SweepResult{&r}
+		}(), "no shard header"},
+		{"version mismatch", func() []*campaign.SweepResult {
+			r := *s1
+			r.Version = "0.0.0"
+			return []*campaign.SweepResult{s0, &r}
+		}(), "version mismatch"},
+		{"foreign seed", func() []*campaign.SweepResult {
+			// Hand shard 1 a deep-copied cell whose first run claims a seed
+			// shard 1 does not own (one of shard 0's).
+			r := *s1
+			r.Cells = append([]campaign.SweepCell(nil), s1.Cells...)
+			for ci, c := range r.Cells {
+				for _, run := range s0.Cells[ci].Result.PerSeed {
+					cr := *c.Result
+					cr.PerSeed = append(append([]campaign.SeedRun(nil), c.Result.PerSeed...), run)
+					r.Cells[ci] = campaign.SweepCell{Scenario: c.Scenario, Profile: c.Profile, Result: &cr}
+					return []*campaign.SweepResult{s0, &r}
+				}
+			}
+			t.Fatal("shard 0 owns no runs to steal")
+			return nil
+		}(), "owned by shard"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := campaign.MergeSweeps(c.in)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("MergeSweeps = %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+// --- genuine process-kill resume ---
+
+const (
+	helperEnv     = "CAMPAIGN_TEST_HELPER_KILL"
+	helperCkptEnv = "CAMPAIGN_TEST_HELPER_CKPT"
+	helperExit    = 57
+)
+
+// TestHelperKilledShardSweep is not a test: re-executed as a child process
+// by TestProcessKillResume, it starts shard 0/2 of the standard campaign
+// with a checkpoint journal and exits hard (os.Exit, no cleanup) after two
+// completed runs — a real mid-campaign crash.
+func TestHelperKilledShardSweep(t *testing.T) {
+	if os.Getenv(helperEnv) != "1" {
+		t.Skip("helper process for TestProcessKillResume")
+	}
+	opts := scaleOpts()
+	opts.Shard = shard.Sel{Index: 0, Count: 2}
+	opts.CheckpointDir = os.Getenv(helperCkptEnv)
+	opts.Parallel = 1
+	var done atomic.Int64
+	opts.OnRunDone = func() {
+		if done.Add(1) == 2 {
+			os.Exit(helperExit)
+		}
+	}
+	_, _ = campaign.Sweep(context.Background(), opts)
+	// Reaching here means shard 0 owned fewer than 2 runs and the kill never
+	// fired; the parent checks the exit code and will fail.
+	os.Exit(0)
+}
+
+// TestProcessKillResume: kill a sharded, checkpointed campaign between seeds
+// in a real child process, resume it, run the sibling shard, merge — and the
+// result is byte-identical to a single uninterrupted sweep, with the
+// journaled runs demonstrably not recomputed.
+func TestProcessKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-executes the test binary")
+	}
+	// The kill fires after 2 completed runs, so shard 0 must own at least 3
+	// for the crash to interrupt anything. That is a property of the stable
+	// hash over this fixed campaign, so check it explicitly.
+	owned := 0
+	for _, sc := range []string{"baseline", "gnss-spoof"} {
+		for _, pr := range []string{"unsecured", "secured"} {
+			for seed := int64(1); seed <= 4; seed++ {
+				if shard.Assign(shard.Key{Scenario: sc, Profile: pr, Seed: seed}, 2) == 0 {
+					owned++
+				}
+			}
+		}
+	}
+	if owned < 3 {
+		t.Fatalf("shard 0 owns only %d of 16 runs; pick a different fixture", owned)
+	}
+
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestHelperKilledShardSweep$", "-test.v")
+	cmd.Env = append(os.Environ(), helperEnv+"=1", helperCkptEnv+"="+dir)
+	out, err := cmd.CombinedOutput()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != helperExit {
+		t.Fatalf("helper process: err=%v (want exit code %d)\noutput:\n%s", err, helperExit, out)
+	}
+
+	// Resume shard 0 from the journal the killed process left behind.
+	var stats campaign.SweepStats
+	resume := scaleOpts()
+	resume.Shard = shard.Sel{Index: 0, Count: 2}
+	resume.CheckpointDir = dir
+	resume.Stats = &stats
+	res0, err := campaign.Sweep(context.Background(), resume)
+	if err != nil {
+		t.Fatalf("resume shard 0: %v", err)
+	}
+	sv := stats.View()
+	if sv.Resumed < 2 {
+		t.Fatalf("resume replayed %d runs, want at least the 2 the killed process journaled", sv.Resumed)
+	}
+	if sv.Resumed+sv.Executed != int64(owned) {
+		t.Fatalf("resume stats = %+v, want resumed+executed == %d", sv, owned)
+	}
+
+	other := scaleOpts()
+	other.Shard = shard.Sel{Index: 1, Count: 2}
+	res1, err := campaign.Sweep(context.Background(), other)
+	if err != nil {
+		t.Fatalf("shard 1: %v", err)
+	}
+
+	merged, err := campaign.MergeSweeps([]*campaign.SweepResult{res0, res1})
+	if err != nil {
+		t.Fatalf("MergeSweeps: %v", err)
+	}
+	got, err := merged.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single := sweepBytes(t, scaleOpts()); string(got) != string(single) {
+		t.Fatal("killed-and-resumed campaign output differs from an uninterrupted sweep")
+	}
+}

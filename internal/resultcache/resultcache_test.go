@@ -1,0 +1,305 @@
+package resultcache
+
+// Result-cache tests: the content address must cover every key field, and a
+// damaged entry — truncated, bit-flipped, or copied to the wrong address —
+// must always be detected, counted, evicted and recomputed, never trusted.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	Metrics map[string]float64 `json:"metrics"`
+	Note    string             `json:"note,omitempty"`
+}
+
+func baseKey() Key {
+	return Key{
+		SpecHash:   strings.Repeat("ab", 32),
+		Profile:    "secured",
+		Seed:       7,
+		DurationNs: int64(240e9),
+		SampleNs:   0,
+		EarlyStop:  "",
+		Engine:     "0.6.0",
+	}
+}
+
+// TestRoundTrip: Put then Get returns the exact payload and counts one
+// store, one hit.
+func TestRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	k := baseKey()
+	in := payload{Metrics: map[string]float64{"logs": 12, "collisions": 0}, Note: "x"}
+	if err := c.Put(k, in); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	var out payload
+	hit, err := c.Get(k, &out)
+	if err != nil || !hit {
+		t.Fatalf("Get = (%v, %v), want hit", hit, err)
+	}
+	if out.Note != in.Note || out.Metrics["logs"] != 12 || out.Metrics["collisions"] != 0 {
+		t.Fatalf("payload mismatch: got %+v", out)
+	}
+	st := c.Stats()
+	if st.Stored != 1 || st.Hits != 1 || st.Misses != 0 || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v, want 1 stored / 1 hit", st)
+	}
+}
+
+// TestMiss: an absent key is a miss, not an error.
+func TestMiss(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var out payload
+	hit, err := c.Get(baseKey(), &out)
+	if err != nil || hit {
+		t.Fatalf("Get on empty cache = (%v, %v), want clean miss", hit, err)
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 miss", st)
+	}
+}
+
+// TestKeySensitivity: changing any single key field changes the content
+// address — the property that makes a stale or foreign hit impossible.
+func TestKeySensitivity(t *testing.T) {
+	base := baseKey()
+	variants := map[string]Key{}
+	k := base
+	k.SpecHash = strings.Repeat("cd", 32)
+	variants["specHash"] = k
+	k = base
+	k.Profile = "unsecured"
+	variants["profile"] = k
+	k = base
+	k.Seed = 8
+	variants["seed"] = k
+	k = base
+	k.DurationNs++
+	variants["durationNs"] = k
+	k = base
+	k.SampleNs = int64(1e9)
+	variants["sampleNs"] = k
+	k = base
+	k.EarlyStop = "collision"
+	variants["earlyStop"] = k
+	k = base
+	k.Engine = "0.7.0"
+	variants["engine"] = k
+
+	ids := map[string]string{"": base.ID()}
+	for field, v := range variants {
+		id := v.ID()
+		if id == base.ID() {
+			t.Errorf("changing %s did not change the cache ID", field)
+		}
+		for prev, prevID := range ids {
+			if id == prevID {
+				t.Errorf("variants %q and %q collide on ID %s", field, prev, id)
+			}
+		}
+		ids[field] = id
+	}
+
+	// And the cache behaves accordingly: an entry stored under the base key
+	// is invisible to every variant.
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := c.Put(base, payload{Note: "base"}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	for field, v := range variants {
+		var out payload
+		hit, err := c.Get(v, &out)
+		if err != nil {
+			t.Fatalf("Get(%s variant): %v", field, err)
+		}
+		if hit {
+			t.Errorf("variant %q hit the base entry", field)
+		}
+	}
+}
+
+// entryPath locates the single entry file of a one-entry cache.
+func entryPath(t *testing.T, c *Cache, k Key) string {
+	t.Helper()
+	id := k.ID()
+	p := filepath.Join(c.Root(), id[:2], id+".json")
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("entry file %s: %v", p, err)
+	}
+	return p
+}
+
+// TestCorruptionDetected: truncation, bit flips and key tampering are all
+// rejected by checksum/key comparison, counted as corrupt, evicted from
+// disk, and reported as a miss so the caller recomputes.
+func TestCorruptionDetected(t *testing.T) {
+	damage := map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"bit-flip": func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			// Flip one bit inside the payload section (past the envelope
+			// prefix), where only the checksum can catch it.
+			out[len(out)-10] ^= 0x01
+			return out
+		},
+		"empty":              func([]byte) []byte { return nil },
+		"not-json":           func([]byte) []byte { return []byte("not an entry at all") },
+		"truncated-one-byte": func(b []byte) []byte { return b[:len(b)-1] },
+	}
+	for name, mutate := range damage {
+		t.Run(name, func(t *testing.T) {
+			c, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			k := baseKey()
+			if err := c.Put(k, payload{Metrics: map[string]float64{"logs": 3}}); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			p := entryPath(t, c, k)
+			b, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatalf("read entry: %v", err)
+			}
+			if err := os.WriteFile(p, mutate(b), 0o644); err != nil {
+				t.Fatalf("write damaged entry: %v", err)
+			}
+
+			var out payload
+			hit, err := c.Get(k, &out)
+			if err != nil {
+				t.Fatalf("Get on damaged entry: %v", err)
+			}
+			if hit {
+				t.Fatal("damaged entry served as a hit")
+			}
+			if st := c.Stats(); st.Corrupt != 1 {
+				t.Fatalf("stats = %+v, want 1 corrupt", st)
+			}
+			if _, err := os.Stat(p); !os.IsNotExist(err) {
+				t.Fatalf("damaged entry not evicted: stat err = %v", err)
+			}
+			// Recompute path: a fresh Put fully heals the slot.
+			if err := c.Put(k, payload{Metrics: map[string]float64{"logs": 3}}); err != nil {
+				t.Fatalf("re-Put: %v", err)
+			}
+			hit, err = c.Get(k, &out)
+			if err != nil || !hit {
+				t.Fatalf("Get after heal = (%v, %v), want hit", hit, err)
+			}
+		})
+	}
+}
+
+// TestWrongAddress: an entry copied to another key's address fails the
+// stored-key comparison even though its checksum is intact.
+func TestWrongAddress(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	k := baseKey()
+	if err := c.Put(k, payload{Note: "original"}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	src := entryPath(t, c, k)
+	other := k
+	other.Seed = 99
+	id := other.ID()
+	dst := filepath.Join(c.Root(), id[:2], id+".json")
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out payload
+	hit, err := c.Get(other, &out)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if hit {
+		t.Fatal("entry at the wrong address served as a hit")
+	}
+	if st := c.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats = %+v, want 1 corrupt", st)
+	}
+}
+
+// TestEvictionIsRemove: deleting any entry file (or the whole cache root)
+// reads as a plain miss — eviction needs no index maintenance.
+func TestEvictionIsRemove(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	k := baseKey()
+	if err := c.Put(k, payload{Note: "x"}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := os.Remove(entryPath(t, c, k)); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	hit, err := c.Get(k, &out)
+	if err != nil || hit {
+		t.Fatalf("Get after eviction = (%v, %v), want clean miss", hit, err)
+	}
+	if st := c.Stats(); st.Corrupt != 0 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want a miss and no corruption", st)
+	}
+}
+
+// TestLayout: entries fan out under two-hex-digit prefix directories and no
+// temp files survive a completed Put.
+func TestLayout(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	k := baseKey()
+	if err := c.Put(k, payload{Note: "x"}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	id := k.ID()
+	if _, err := os.Stat(filepath.Join(dir, id[:2], id+".json")); err != nil {
+		t.Fatalf("entry not at <root>/%s/%s.json: %v", id[:2], id, err)
+	}
+	var stray []string
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasPrefix(filepath.Base(path), ".put-") {
+			stray = append(stray, path)
+		}
+		return nil
+	})
+	if len(stray) > 0 {
+		t.Fatalf("temp files left behind: %v", stray)
+	}
+}
+
+// TestOpenRejectsEmptyDir: an empty root is a configuration error.
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") unexpectedly succeeded")
+	}
+}

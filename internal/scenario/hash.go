@@ -1,0 +1,35 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Canonical returns the spec's canonical serialized form: compact JSON in
+// Spec's fixed struct-field order, with attack-param map keys sorted by
+// encoding/json. Two specs describing the same operational situation under
+// the same profile produce identical canonical bytes, so the form is the
+// stable input of content addressing.
+func (s Spec) Canonical() ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: canonicalize spec: %w", err)
+	}
+	return b, nil
+}
+
+// Hash returns the canonical spec hash: SHA-256 hex over Canonical. It is
+// the spec component of the result-cache key — changing any field of the
+// spec (site, weather, workers, timing, profile, attack schedule, declared
+// horizon, even name or description) changes the hash, so cached results can
+// never be served for a different situation.
+func (s Spec) Hash() (string, error) {
+	b, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

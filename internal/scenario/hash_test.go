@@ -1,0 +1,91 @@
+package scenario
+
+// Spec-hash tests: the canonical hash is the spec component of the result
+// cache's content address, so it must be stable across calls and sensitive
+// to every spec field — a hash that ignored a field would let a cached
+// result be served for a different situation.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/worksite"
+)
+
+// TestHashStable: hashing is a pure function — same spec, same hash — and
+// the hex form is a 64-char SHA-256 digest.
+func TestHashStable(t *testing.T) {
+	a, err := Baseline().Hash()
+	if err != nil {
+		t.Fatalf("Hash: %v", err)
+	}
+	b, err := Baseline().Hash()
+	if err != nil {
+		t.Fatalf("Hash: %v", err)
+	}
+	if a != b {
+		t.Fatalf("hash not stable: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("hash %q is not a sha256 hex digest", a)
+	}
+}
+
+// TestHashSensitivity: every kind of spec change — identity, horizon, site,
+// weather, workers, fusion policy, drone, timing, profile, attacks — changes
+// the hash.
+func TestHashSensitivity(t *testing.T) {
+	base := Baseline()
+	baseHash, err := base.Hash()
+	if err != nil {
+		t.Fatalf("Hash: %v", err)
+	}
+	mutations := []struct {
+		name   string
+		mutate func(Spec) Spec
+	}{
+		{"name", func(s Spec) Spec { s.Name = "other"; return s }},
+		{"description", func(s Spec) Spec { s.Description = "changed"; return s }},
+		{"horizon", func(s Spec) Spec { s.Horizon = 5 * time.Minute; return s }},
+		{"site", func(s Spec) Spec { s.Site.Cols++; return s }},
+		{"workers", func(s Spec) Spec { s.Workers++; return s }},
+		{"confirmHits", func(s Spec) Spec { s.ConfirmHits++; return s }},
+		{"drone", func(s Spec) Spec { s.Drone = !s.Drone; return s }},
+		{"profile", func(s Spec) Spec { return s.WithProfile(worksite.Secured()) }},
+		{"attacks", func(s Spec) Spec {
+			s.Attacks = append(s.Attacks, AttackSpec{Name: "gnss-spoof"})
+			return s
+		}},
+	}
+	seen := map[string]string{baseHash: "base"}
+	for _, m := range mutations {
+		h, err := m.mutate(base).Hash()
+		if err != nil {
+			t.Fatalf("Hash(%s): %v", m.name, err)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("mutating %s collides with %s (hash %s)", m.name, prev, h)
+		}
+		seen[h] = m.name
+	}
+}
+
+// TestCanonicalIsCompactJSON: the canonical form round-trips through the
+// spec codec, so hashing and serving share one serialization.
+func TestCanonicalIsCompactJSON(t *testing.T) {
+	b, err := Baseline().Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	spec, err := Parse(b)
+	if err != nil {
+		t.Fatalf("Parse(Canonical): %v", err)
+	}
+	again, err := spec.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	if string(b) != string(again) {
+		t.Fatal("canonical form does not round-trip through Parse")
+	}
+}

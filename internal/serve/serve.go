@@ -83,6 +83,12 @@ type Config struct {
 	// DrainTimeout bounds how long Serve waits for in-flight jobs after
 	// its context fires before cancelling them.
 	DrainTimeout time.Duration
+	// CacheDir, when non-empty, roots a content-addressed result cache
+	// shared by every sweep the daemon runs: completed (scenario, profile,
+	// seed) runs are stored there and repeated sweeps are served from disk,
+	// with per-sweep cached-run counts reported in progress. Empty disables
+	// caching.
+	CacheDir string
 	// Logger receives structured request and job-lifecycle logs; nil
 	// discards them.
 	Logger *slog.Logger

@@ -36,10 +36,15 @@ type sweepRequest struct {
 }
 
 // sweepProgress is the progress counter of a sweep: simulation runs
-// (seeds × cells) completed out of the total.
+// (seeds × cells) completed out of the total, and — when the daemon runs
+// with a result cache — how many of the completed runs were served from it.
 type sweepProgress struct {
 	Done  int `json:"done"`
 	Total int `json:"total"`
+	// Cached counts completed runs served from the content-addressed result
+	// cache instead of simulated. Always ≤ Done; omitted when the daemon has
+	// no cache configured.
+	Cached int `json:"cached,omitempty"`
 }
 
 // sweepStatus is the wire representation of a sweep job.
@@ -66,6 +71,7 @@ type sweepJob struct {
 	duration  time.Duration
 	total     int
 	done      atomic.Int64
+	cached    atomic.Int64
 	cancel    context.CancelFunc
 
 	mu     sync.Mutex
@@ -84,8 +90,12 @@ func (j *sweepJob) status(withResult bool) sweepStatus {
 		Profiles:   j.profiles,
 		Seeds:      j.seeds,
 		DurationNs: int64(j.duration),
-		Progress:   sweepProgress{Done: int(j.done.Load()), Total: j.total},
-		Error:      j.errMsg,
+		Progress: sweepProgress{
+			Done:   int(j.done.Load()),
+			Total:  j.total,
+			Cached: int(j.cached.Load()),
+		},
+		Error: j.errMsg,
 	}
 	if withResult {
 		st.Result = j.result
@@ -180,14 +190,17 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	opts := campaign.SweepOptions{
-		Scenarios:   scenarios,
-		Profiles:    profiles,
-		Seeds:       seeds,
-		Parallel:    req.Parallel,
-		Duration:    duration,
-		SampleEvery: time.Duration(req.SampleNs),
-		EarlyStop:   earlyStop,
-		OnRunDone:   func() { j.done.Add(1) },
+		Scenarios:     scenarios,
+		Profiles:      profiles,
+		Seeds:         seeds,
+		Parallel:      req.Parallel,
+		Duration:      duration,
+		SampleEvery:   time.Duration(req.SampleNs),
+		EarlyStop:     earlyStop,
+		EarlyStopName: req.EarlyStop,
+		CacheDir:      s.cfg.CacheDir,
+		OnRunDone:     func() { j.done.Add(1) },
+		OnRunCached:   func() { j.cached.Add(1) },
 	}
 
 	s.jobs.Add(1)
@@ -220,7 +233,8 @@ func (s *Server) executeSweep(ctx context.Context, j *sweepJob, opts campaign.Sw
 	}
 	st := j.status(false)
 	s.log.Info("sweep finished", "sweepID", j.id, "state", string(st.State),
-		"done", st.Progress.Done, "total", st.Progress.Total, "err", st.Error)
+		"done", st.Progress.Done, "total", st.Progress.Total,
+		"cached", st.Progress.Cached, "err", st.Error)
 }
 
 // handleGetSweep is GET /v1/sweeps/{id}: status, progress and — once done —

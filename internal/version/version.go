@@ -1,0 +1,17 @@
+// Package version pins the engine version every artifact-stamping layer
+// shares: the worksim façade re-exports it as worksim.Version, the campaign
+// engine stamps it into sweep JSON and campaign result headers, and the
+// content-addressed result cache folds it into every cache key so artifacts
+// produced by one engine version are never mistaken for another's.
+//
+// The constant lives under internal/ (rather than on the façade) because
+// internal packages may never import the façade back — the boundary the
+// facadeboundary analyzer enforces — while the façade is free to re-export
+// internal constants.
+package version
+
+// Engine is the engine/façade semantic version. Bump the minor on surface
+// additions and the major on breaking changes; every cmd/ binary reports it
+// via -version, every sweep export and campaign result carries it in its
+// "version" header, and every result-cache entry is keyed on it.
+const Engine = "0.6.0"

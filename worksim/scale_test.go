@@ -1,0 +1,103 @@
+package worksim_test
+
+// Façade tests for the campaign scale-out surface: spec hashing, shard
+// selection and shard merging must compose through the public API exactly as
+// they do through the internal engine.
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/worksim"
+)
+
+// TestSpecHash: hashing is exposed on the façade, stable, and sensitive to
+// the profile — the property callers rely on to pre-compute cache keys.
+func TestSpecHash(t *testing.T) {
+	base := worksim.Baseline()
+	h1, err := worksim.SpecHash(base)
+	if err != nil {
+		t.Fatalf("SpecHash: %v", err)
+	}
+	h2, err := worksim.SpecHash(base)
+	if err != nil || h1 != h2 {
+		t.Fatalf("SpecHash not stable: %q vs %q (err %v)", h1, h2, err)
+	}
+	if len(h1) != 64 {
+		t.Fatalf("SpecHash %q is not a sha256 hex digest", h1)
+	}
+	hs, err := worksim.SpecHash(base.WithProfile(worksim.Secured()))
+	if err != nil {
+		t.Fatalf("SpecHash(secured): %v", err)
+	}
+	if hs == h1 {
+		t.Fatal("profile change did not change the spec hash")
+	}
+}
+
+// TestShardSurface: ParseShard and AssignShard agree with the sweep's own
+// partition, and a façade-level shard+merge reproduces the unsharded bytes.
+func TestShardSurface(t *testing.T) {
+	sel, err := worksim.ParseShard("1/2")
+	if err != nil {
+		t.Fatalf("ParseShard: %v", err)
+	}
+	if sel.Index != 1 || sel.Count != 2 {
+		t.Fatalf("ParseShard = %+v", sel)
+	}
+	if _, err := worksim.ParseShard("2/2"); err == nil {
+		t.Fatal("ParseShard accepted an out-of-range selector")
+	}
+
+	base := worksim.SweepOptions{
+		Scenarios: []string{"baseline"},
+		Profiles:  []string{"unsecured", "secured"},
+		Seeds:     worksim.SeedRange{Base: 1, Count: 3},
+		Parallel:  2,
+		Duration:  2 * time.Minute,
+	}
+	single, err := worksim.Sweep(context.Background(), base)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	singleJSON, err := single.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var parts []*worksim.SweepResult
+	for i := 0; i < 2; i++ {
+		opts := base
+		opts.Shard = worksim.ShardSel{Index: i, Count: 2}
+		res, err := worksim.Sweep(context.Background(), opts)
+		if err != nil {
+			t.Fatalf("Sweep(shard %d): %v", i, err)
+		}
+		// Every run the shard reports is one AssignShard says it owns.
+		for _, c := range res.Cells {
+			for _, run := range c.Result.PerSeed {
+				k := worksim.ShardKey{Scenario: c.Scenario, Profile: c.Profile, Seed: run.Seed}
+				if got := worksim.AssignShard(k, 2); got != i {
+					t.Fatalf("shard %d reported %v, but AssignShard says shard %d", i, k, got)
+				}
+			}
+		}
+		parts = append(parts, res)
+	}
+	merged, err := worksim.MergeSweeps(parts)
+	if err != nil {
+		t.Fatalf("MergeSweeps: %v", err)
+	}
+	got, err := merged.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(singleJSON) {
+		t.Fatal("façade shard+merge differs from the unsharded sweep")
+	}
+	if !strings.Contains(string(got), "\"version\": \""+worksim.Version+"\"") {
+		t.Fatal("merged export lacks the façade version stamp")
+	}
+}

@@ -518,6 +518,55 @@ func TestSweepLifecycle(t *testing.T) {
 	}
 }
 
+// TestSweepCacheProgress: with Config.CacheDir set, a repeated sweep is
+// served from the content-addressed result cache — progress reports every
+// run as cached and the result bytes are identical to the cold run's.
+func TestSweepCacheProgress(t *testing.T) {
+	ts := newTestServer(t, serve.Config{CacheDir: t.TempDir()})
+	type sweepStatus struct {
+		ID       string      `json:"id"`
+		State    serve.State `json:"state"`
+		Progress struct {
+			Done   int `json:"done"`
+			Total  int `json:"total"`
+			Cached int `json:"cached"`
+		} `json:"progress"`
+		Error  string          `json:"error"`
+		Result json.RawMessage `json:"result"`
+	}
+	submit := func() sweepStatus {
+		t.Helper()
+		var st sweepStatus
+		code := postJSON(t, ts.URL+"/v1/sweeps",
+			`{"scenarios":["baseline"],"profiles":["unsecured","secured"],"seeds":{"base":1,"count":2},"durationNs":60000000000,"parallel":2}`, &st)
+		if code != http.StatusAccepted {
+			t.Fatalf("POST /v1/sweeps: status %d", code)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) && !st.State.Terminal() {
+			time.Sleep(10 * time.Millisecond)
+			if code := getJSON(t, ts.URL+"/v1/sweeps/"+st.ID, &st); code != http.StatusOK {
+				t.Fatalf("GET sweep: status %d", code)
+			}
+		}
+		if st.State != serve.StateDone || st.Error != "" {
+			t.Fatalf("sweep ended %s (error %q), want done", st.State, st.Error)
+		}
+		return st
+	}
+	cold := submit()
+	if cold.Progress.Cached != 0 {
+		t.Fatalf("cold sweep reports %d cached runs, want 0", cold.Progress.Cached)
+	}
+	warm := submit()
+	if warm.Progress.Cached != warm.Progress.Total {
+		t.Fatalf("warm sweep progress = %+v, want every run cached", warm.Progress)
+	}
+	if string(warm.Result) != string(cold.Result) {
+		t.Fatal("warm-cache sweep result differs from the cold run")
+	}
+}
+
 // TestQuota: submissions beyond MaxConcurrentJobs are rejected with 429
 // until a slot frees up.
 func TestQuota(t *testing.T) {

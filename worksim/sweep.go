@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/campaign"
+	"repro/internal/shard"
 	"repro/worksim/event"
 )
 
@@ -25,6 +26,23 @@ type (
 	SeedRange = campaign.SeedRange
 	// TimePoint is one downsampled sample of a run's per-tick timeseries.
 	TimePoint = campaign.TimePoint
+	// ShardSel selects one shard of a sharded sweep (SweepOptions.Shard):
+	// index i of count N, partitioning the scenario × profile × seed cube by
+	// a stable hash that is independent of enumeration order.
+	ShardSel = shard.Sel
+	// ShardKey identifies one (scenario, profile, seed) run — the unit the
+	// shard partition assigns.
+	ShardKey = shard.Key
+	// ShardInfo is the shard header a sharded sweep result carries (and
+	// MergeSweeps strips).
+	ShardInfo = campaign.ShardInfo
+	// SweepStats carries a sweep's live execution counters (fresh runs,
+	// cache hits/misses/corruptions, checkpoint resumes); hand one to
+	// SweepOptions.Stats and snapshot it with View. Counters are never part
+	// of sweep JSON, so cold and warm runs stay byte-identical.
+	SweepStats = campaign.SweepStats
+	// SweepStatsView is a point-in-time snapshot of SweepStats.
+	SweepStatsView = campaign.SweepStatsView
 )
 
 // DefaultSweepDuration is the per-run simulated duration when
@@ -47,7 +65,34 @@ func Sweep(ctx context.Context, opts SweepOptions) (*SweepResult, error) {
 
 // EarlyStopByName resolves a named early-stop predicate (collision, unsafe,
 // safe-stop, first-alert) — the CLI surface of SweepOptions.EarlyStop. The
-// empty name resolves to nil (no early stop).
+// empty name resolves to nil (no early stop). Callers that cache or
+// checkpoint must also record the name in SweepOptions.EarlyStopName so the
+// predicate enters the run key.
 func EarlyStopByName(name string) (func(event.TickSnapshot) bool, error) {
 	return campaign.EarlyStopByName(name)
+}
+
+// ParseShard parses an "i/N" shard selector (e.g. "0/4") — the CLI surface
+// of SweepOptions.Shard. "0/1" means unsharded.
+func ParseShard(s string) (ShardSel, error) { return shard.Parse(s) }
+
+// AssignShard returns which shard of count owns a run — the stable hash
+// partition sharded sweeps and MergeSweeps agree on. It depends only on the
+// key and count, never on enumeration order, so any process computes the
+// same answer.
+func AssignShard(k ShardKey, count int) int { return shard.Assign(k, count) }
+
+// MergeSweeps combines a complete set of sharded sweep results (any order)
+// into the single result an unsharded sweep would have produced — the JSON
+// export of the merge is byte-identical to the single-process sweep. It
+// fails loudly on a missing, duplicate or inconsistent shard, or any seed
+// reported by a shard that does not own it.
+func MergeSweeps(in []*SweepResult) (*SweepResult, error) {
+	return campaign.MergeSweeps(in)
+}
+
+// MergeSweepJSON merges serialized sharded sweep results and returns the
+// merged result plus its indented JSON export.
+func MergeSweepJSON(blobs [][]byte) (*SweepResult, []byte, error) {
+	return campaign.MergeSweepJSON(blobs)
 }

@@ -28,14 +28,17 @@ package worksim
 
 import (
 	"repro/internal/scenario"
+	"repro/internal/version"
 	"repro/internal/worksite"
 	"repro/worksim/scenariospec"
 )
 
-// Version is the façade's semantic version. Bump the minor on surface
+// Version is the engine's semantic version, re-exported from
+// internal/version so campaign results, cache keys and checkpoint journals
+// stamp the same string the façade reports. Bump the minor on surface
 // additions and the major on breaking changes; every cmd/ binary reports it
-// via -version.
-const Version = "0.5.0"
+// via -version, and every sweep/campaign JSON export carries it.
+const Version = version.Engine
 
 // Scenario declaratively describes one worksite operational situation. It is
 // the same type as scenariospec.Spec — compose one from Baseline(), a
@@ -64,6 +67,15 @@ func AttackNames() []string { return scenario.AttackNames() }
 // LoadSpec reads a JSON scenario spec file; fields overlay the baseline, so
 // a file only states what it changes.
 func LoadSpec(path string) (Scenario, error) { return scenario.LoadFile(path) }
+
+// SpecHash returns the scenario's canonical content address: SHA-256 hex
+// over its compact canonical JSON. It is the spec component of the result
+// cache's run key — any change to the scenario (site, weather, workers,
+// timing, profile, attack schedule, declared horizon, even name or
+// description) changes the hash, so cached runs can never be confused across
+// situations. Hash a profile-resolved spec (Scenario.WithProfile) to get the
+// exact key sweeps cache under.
+func SpecHash(s Scenario) (string, error) { return s.Hash() }
 
 // ParseSpec decodes a JSON scenario spec document (see LoadSpec).
 // Validation failures — a declared horizon that is not positive, unknown or
