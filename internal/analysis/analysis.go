@@ -1,6 +1,6 @@
 // Package analysis is the static-analysis layer of the repository: a small
 // analyzer framework in the spirit of golang.org/x/tools/go/analysis (which
-// the build environment does not vendor), plus the four worksim analyzers
+// the build environment does not vendor), plus the seven worksim analyzers
 // that make the simulator's core invariants structural rather than
 // empirical:
 //
@@ -12,6 +12,16 @@
 //     context.Context, and //worksim:tickloop loops check cancellation.
 //   - hotpath: //worksim:hotpath functions (the zero-alloc tick path) are
 //     screened for allocation sources at the offending line.
+//   - gohygiene: every go statement in the simulation packages is
+//     join-tracked (WaitGroup-style Done, channel send/close, or an
+//     observed context), so no goroutine outlives its owner invisibly.
+//   - syncmisuse: sync primitives copied by value, struct fields accessed
+//     both atomically and plainly, and time.Sleep inside tick loops.
+//   - escapebudget: the gc compiler's own escape-analysis and inlining
+//     diagnostics (go build -gcflags=-m=2), gated per //worksim:hotpath
+//     function against the checked-in budgets in lint/escape_budget.json
+//     with ratchet semantics — both a new escape and an unrecorded
+//     improvement fail, so optimization wins get locked in.
 //
 // Three comment directives steer the analyzers:
 //
@@ -20,7 +30,9 @@
 //	//worksim:tickloop          mark a loop that must observe ctx cancellation
 //
 // An allow directive without a reason suppresses nothing and is itself
-// reported, so every suppression stays auditable.
+// reported, so every suppression stays auditable; worksimlint -audit emits
+// the full suppression inventory and fails on directives that suppress
+// nothing.
 package analysis
 
 import (
@@ -33,14 +45,23 @@ import (
 )
 
 // An Analyzer describes one static check. Run inspects a single type-checked
-// package via the Pass and reports findings with Pass.Reportf.
+// package via the Pass and reports findings with Pass.Reportf. Module-level
+// analyzers set RunModule instead and see the whole loaded package set at
+// once.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and CLI listings.
 	Name string
 	// Doc is the one-paragraph description shown by `worksimlint -list`.
 	Doc string
-	// Run performs the check. It must not retain the Pass.
+	// Run performs the check on one package. It must not retain the Pass.
+	// Nil for module-level analyzers.
 	Run func(*Pass) error
+	// RunModule, when set, runs once over the whole loaded module instead
+	// of per package. root is the module root directory; analyzers that
+	// consult external ground truth (the compiler, checked-in budget files)
+	// resolve paths against it. RunModule analyzers only execute under
+	// RunRoot — Run (rootless, used by fixtures) skips them.
+	RunModule func(root string, pkgs []*Package) ([]Diagnostic, error)
 }
 
 // A Diagnostic is one finding, already resolved to a file position.
@@ -190,25 +211,94 @@ func RunPackage(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
 	return kept, nil
 }
 
-// Run executes every analyzer over every package and returns the combined,
-// position-sorted findings. Malformed //worksim:allow directives are
-// reported once per package under the synthetic check name
-// "allowdirective".
+// Run executes every per-package analyzer over every package and returns the
+// combined, position-sorted findings. Malformed //worksim:allow directives
+// are reported once per package under the synthetic check name
+// "allowdirective". Module-level analyzers (RunModule) are skipped — use
+// RunRoot when a module root is known.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunRoot("", pkgs, analyzers)
+}
+
+// RunRoot executes the full analyzer set — per-package and, when root is
+// non-empty, module-level — over the loaded packages. //worksim:allow
+// suppression is applied across the whole set, so a module-level diagnostic
+// landing on an allowed line is suppressed exactly like a per-package one,
+// and the result is sorted by (file, line, col, analyzer, message) so output
+// is deterministic run over run.
+func RunRoot(root string, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	all, dirs, err := runRaw(root, pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	kept := all[:0]
+	for _, d := range all {
+		if d.Analyzer == "allowdirective" || !dirs.suppressed(d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	SortDiagnostics(kept)
+	return kept, nil
+}
+
+// runRaw produces the unsuppressed diagnostics of every analyzer plus the
+// union of the packages' allow directives — the shared substrate of RunRoot
+// and the -audit ledger.
+func runRaw(root string, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, directives, error) {
+	union := directives{allow: make(map[string]map[int]string)}
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		dir := collectDirectives(pkg.Fset, pkg.Files)
 		all = append(all, dir.malformed...)
+		for file, lines := range dir.allow {
+			if union.allow[file] == nil {
+				union.allow[file] = lines
+				continue
+			}
+			for line, reason := range lines {
+				union.allow[file][line] = reason
+			}
+		}
 		for _, a := range analyzers {
-			diags, err := RunPackage(pkg, a)
-			if err != nil {
-				return nil, err
+			if a.Run == nil {
+				continue
+			}
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Path:     pkg.Path,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, directives{}, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 			all = append(all, diags...)
 		}
 	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i], all[j]
+	if root != "" {
+		for _, a := range analyzers {
+			if a.RunModule == nil {
+				continue
+			}
+			diags, err := a.RunModule(root, pkgs)
+			if err != nil {
+				return nil, directives{}, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			all = append(all, diags...)
+		}
+	}
+	return all, union, nil
+}
+
+// SortDiagnostics orders diagnostics by (file, line, col, analyzer, message)
+// — the stable order both output modes print in.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -223,10 +313,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Message < b.Message
 	})
-	return all, nil
 }
 
 // All returns the full worksim analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, FacadeBoundary, CtxDiscipline, HotPath}
+	return []*Analyzer{
+		Determinism, FacadeBoundary, CtxDiscipline, HotPath,
+		GoHygiene, SyncMisuse, EscapeBudgetAnalyzer,
+	}
 }

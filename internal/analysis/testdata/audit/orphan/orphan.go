@@ -1,0 +1,20 @@
+//worksimtest:importpath repro/internal/fixture/orphan
+
+// Package orphan exercises the -audit failure modes: an allow directive that
+// suppresses nothing (orphaned) and a bare directive without a reason. The
+// go statement below is untracked so the package also yields one genuinely
+// suppressed finding for the ledger.
+package orphan
+
+func fire() {}
+
+func spawn() {
+	//worksim:allow fixture: deliberate fire-and-forget spawn
+	go fire()
+}
+
+//worksim:allow fixture: this once excused a finding that has since been fixed
+func quiet() {}
+
+//worksim:allow
+func bare() {}

@@ -1,0 +1,25 @@
+//worksimtest:importpath repro/internal/fixture/escapehot
+
+// Package escapehot is the escapebudget gate fixture: two annotated hot-path
+// functions whose compiler diagnostics the tests synthesize, and an
+// unannotated control that must stay outside the budget.
+package escapehot
+
+//worksim:hotpath
+func Leaky() *int {
+	v := 42
+	return &v
+}
+
+type Codec struct{ scratch []byte }
+
+//worksim:hotpath
+func (c *Codec) Encode(b []byte) []byte {
+	c.scratch = append(c.scratch[:0], b...)
+	return c.scratch
+}
+
+func unbudgeted() *int {
+	v := 7
+	return &v
+}

@@ -1,0 +1,57 @@
+//worksimtest:importpath repro/internal/fixture/spawn
+
+// Package spawn exercises the gohygiene analyzer: join-tracked goroutines in
+// every accepted shape, an allow-suppressed fire-and-forget, and untracked
+// spawns that must be reported.
+package spawn
+
+import (
+	"context"
+	"sync"
+)
+
+type workGroup struct{ n int }
+
+func (g *workGroup) Add(int) {}
+func (g *workGroup) Done()   {}
+func (g *workGroup) Wait()   {}
+
+func worker(ctx context.Context) { _ = ctx }
+func fire()                      {}
+
+func tracked(ctx context.Context, wg *sync.WaitGroup, g *workGroup, done chan struct{}, results chan int) {
+	go worker(ctx) // clean: ctx argument joins the cancellation tree
+
+	go func() { // clean: WaitGroup Done signals completion
+		defer wg.Done()
+	}()
+
+	go func() { // clean: custom ...Group type counts like sync.WaitGroup
+		defer g.Done()
+	}()
+
+	go func() { // clean: channel send signals completion
+		results <- 1
+	}()
+
+	go func() { // clean: close() signals completion
+		close(done)
+	}()
+
+	go func() { // clean: the closure observes ctx
+		<-ctx.Done()
+	}()
+}
+
+func untracked() {
+	go fire() // want `go statement is not join-tracked`
+
+	go func() { // want `go statement is not join-tracked`
+		fire()
+	}()
+}
+
+func deliberate() {
+	//worksim:allow fixture: metrics flusher is fire-and-forget by design
+	go fire() // clean: suppressed with a reasoned allow
+}

@@ -332,6 +332,8 @@ func (c *Channel) deriveKeys(peerEph, initNonce, respNonce []byte) error {
 }
 
 // Seal encrypts plaintext into a record: [8-byte seq | GCM ciphertext].
+//
+//worksim:hotpath
 func (c *Channel) Seal(plaintext []byte) ([]byte, error) {
 	if c.st != stateEstablished {
 		return nil, ErrNotEstablished
@@ -354,7 +356,7 @@ func (c *Channel) Seal(plaintext []byte) ([]byte, error) {
 	nonce := recordNonce(seq)
 	ct := aead.Seal(nil, nonce, plaintext, hdr[:])
 	c.stats.RecordsSealed++
-	return append(hdr[:], ct...), nil
+	return append(hdr[:], ct...), nil //worksim:allow the record (header || ciphertext) is a fresh slice by API contract; budgeted in lint/escape_budget.json
 }
 
 // maxEpochSkip bounds how many key epochs a single record may advance the
@@ -367,27 +369,29 @@ const maxEpochSkip = 1 << 10
 // sequence numbers (drops allowed, replays rejected). Receiver key state is
 // only committed after the record authenticates, so forged records cannot
 // perturb the channel.
+//
+//worksim:hotpath
 func (c *Channel) Open(record []byte) ([]byte, error) {
 	if c.st != stateEstablished {
 		return nil, ErrNotEstablished
 	}
 	if len(record) < 8 {
 		c.stats.DecryptFailures++
-		return nil, fmt.Errorf("%w: short record", ErrDecrypt)
+		return nil, fmt.Errorf("%w: short record", ErrDecrypt) //worksim:allow cold rejection path, runs only on malformed input
 	}
 	seq := binary.BigEndian.Uint64(record[:8])
 	if c.stats.RecordsOpened > 0 && seq < c.rxSeq {
 		c.stats.ReplaysRejected++
-		return nil, fmt.Errorf("%w: seq %d < %d", ErrReplay, seq, c.rxSeq)
+		return nil, fmt.Errorf("%w: seq %d < %d", ErrReplay, seq, c.rxSeq) //worksim:allow cold rejection path, runs only under replay attack
 	}
 	epoch := seq / c.rekeyEvery
 	if epoch < c.rxEpoch {
 		c.stats.ReplaysRejected++
-		return nil, fmt.Errorf("%w: epoch %d already ratcheted away", ErrReplay, epoch)
+		return nil, fmt.Errorf("%w: epoch %d already ratcheted away", ErrReplay, epoch) //worksim:allow cold rejection path, runs only under replay attack
 	}
 	if epoch-c.rxEpoch > maxEpochSkip {
 		c.stats.DecryptFailures++
-		return nil, fmt.Errorf("%w: implausible epoch skip %d", ErrDecrypt, epoch-c.rxEpoch)
+		return nil, fmt.Errorf("%w: implausible epoch skip %d", ErrDecrypt, epoch-c.rxEpoch) //worksim:allow cold rejection path, runs only on forged records
 	}
 	key := c.rxKey
 	for e := c.rxEpoch; e < epoch; e++ {
@@ -400,7 +404,7 @@ func (c *Channel) Open(record []byte) ([]byte, error) {
 	pt, err := aead.Open(nil, recordNonce(seq), record[8:], record[:8])
 	if err != nil {
 		c.stats.DecryptFailures++
-		return nil, fmt.Errorf("%w: %v", ErrDecrypt, err)
+		return nil, fmt.Errorf("%w: %v", ErrDecrypt, err) //worksim:allow cold rejection path, runs only on tampered records
 	}
 	c.rxKey, c.rxEpoch = key, epoch
 	c.rxSeq = seq + 1
@@ -408,20 +412,28 @@ func (c *Channel) Open(record []byte) ([]byte, error) {
 	return pt, nil
 }
 
+// newAEAD builds the per-record cipher. Called once per Seal/Open; the AEAD
+// construction is the dominant cost of the secured record path and its heap
+// behavior is pinned by the escape budget.
+//
+//worksim:hotpath
 func newAEAD(key []byte) (cipher.AEAD, error) {
 	block, err := aes.NewCipher(key)
 	if err != nil {
-		return nil, fmt.Errorf("record cipher: %w", err)
+		return nil, fmt.Errorf("record cipher: %w", err) //worksim:allow cold path: AES key sizes are fixed by the handshake, so this never runs in steady state
 	}
 	aead, err := cipher.NewGCM(block)
 	if err != nil {
-		return nil, fmt.Errorf("record aead: %w", err)
+		return nil, fmt.Errorf("record aead: %w", err) //worksim:allow cold path: GCM over AES never fails for the keys the handshake derives
 	}
 	return aead, nil
 }
 
+// recordNonce derives the per-record GCM nonce from the sequence number.
+//
+//worksim:hotpath
 func recordNonce(seq uint64) []byte {
-	nonce := make([]byte, 12)
+	nonce := make([]byte, 12) //worksim:allow fixed 12-byte nonce required by the AEAD API; counted in lint/escape_budget.json
 	binary.BigEndian.PutUint64(nonce[4:], seq)
 	return nonce
 }

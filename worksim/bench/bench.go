@@ -41,9 +41,10 @@ type Benchmark struct {
 	Fn func(b *testing.B)
 }
 
-// Catalog returns the tracked benchmarks in presentation order.
+// Catalog returns the tracked benchmarks in presentation order: the macro
+// ladder first, then the secured-path micro-benchmarks (secured.go).
 func Catalog() []Benchmark {
-	return []Benchmark{
+	macro := []Benchmark{
 		{
 			Name: "tick-baseline",
 			Doc:  "one steady-state control tick, E1 baseline (unsecured, drone on)",
@@ -70,6 +71,7 @@ func Catalog() []Benchmark {
 			Fn:   benchSweep32,
 		},
 	}
+	return append(macro, securedCatalog()...)
 }
 
 // Lookup returns the catalog entry with the given name.
