@@ -9,7 +9,12 @@
 //	bench -label baseline          # write BENCH_<date>.baseline.json
 //	bench -out results.json        # explicit output path
 //	bench -against BENCH_old.json  # also print per-benchmark deltas
+//	bench -against old.json -gate  # fail on secured-path regressions
 //	bench -list                    # list the catalog, then exit
+//
+// -gate is the CI guard over the secured hot path: it fails (exit 1) when a
+// gated benchmark is missing, reports allocations where the catalog requires
+// zero, or regresses ns/op beyond the tolerance against the -against record.
 package main
 
 import (
@@ -28,6 +33,8 @@ func main() {
 		label   = flag.String("label", "", "label recorded in the file and appended to the default filename")
 		filter  = flag.String("filter", "", "regexp selecting which catalog benchmarks to run (default all)")
 		against = flag.String("against", "", "older BENCH_*.json to diff the new results against")
+		gate    = flag.Bool("gate", false, "fail on secured-path violations: missing gated benchmarks, allocations on zero-alloc entries, or ns/op regressions beyond -gate-tolerance vs -against")
+		gateTol = flag.Float64("gate-tolerance", bench.DefaultGateTolerance, "fractional ns/op regression -gate tolerates on gated benchmarks")
 		list    = flag.Bool("list", false, "list the benchmark catalog, then exit")
 		version = flag.Bool("version", false, "print the worksim version, then exit")
 	)
@@ -73,11 +80,27 @@ func main() {
 		if err != nil {
 			// A missing or unreadable baseline is not a benchmarking failure:
 			// the first run of a fresh checkout has nothing to diff against.
-			// Record the new results and skip the delta instead of failing.
+			// Record the new results and skip the delta instead of failing —
+			// unless the run is gated, where a silently absent baseline would
+			// void the guard.
+			if *gate {
+				fatalf("-gate needs a usable -against baseline: %v", err)
+			}
 			fmt.Fprintf(os.Stderr, "bench: no usable baseline, skipping delta: %v\n", err)
 			return
 		}
 		fmt.Printf("\ndelta vs %s:\n%s", *against, bench.RenderDeltas(bench.Compare(old, f)))
+		if *gate {
+			if violations := bench.Gate(old, f, *gateTol); len(violations) > 0 {
+				for _, v := range violations {
+					fmt.Fprintf(os.Stderr, "bench: gate: %s\n", v)
+				}
+				os.Exit(1)
+			}
+			fmt.Println("secured-path gate passed")
+		}
+	} else if *gate {
+		fatalf("-gate needs -against: the gate compares against the committed record")
 	}
 }
 

@@ -319,6 +319,14 @@ func Sweep(ctx context.Context, opts SweepOptions) (*SweepResult, error) {
 				}
 				cell.specHash = h
 			}
+			// One shared commission per cell: every seed forks the batch's
+			// established security state instead of re-running keygen and
+			// handshakes (byte-identical output — scenario.Batch's contract).
+			batch, err := scenario.NewBatch(cell.spec)
+			if err != nil {
+				return nil, fmt.Errorf("sweep %s/%s: %w", name, profName, err)
+			}
+			cell.batch = batch
 			exp := Experiment{
 				ID:          name + "/" + profName,
 				Section:     "sweep",
@@ -354,13 +362,15 @@ type sweepEnv struct {
 	ckpt  *checkpoint
 }
 
-// cellRef names one (scenario, profile) cell with its compiled spec and —
-// when the cache is on — the spec's canonical hash, computed once per cell.
+// cellRef names one (scenario, profile) cell with its compiled spec, the
+// cell's shared-commission batch, and — when the cache is on — the spec's
+// canonical hash, computed once per cell.
 type cellRef struct {
 	scenario string
 	profile  string
 	spec     scenario.Spec
 	specHash string
+	batch    *scenario.Batch
 }
 
 // runRecord is the serialized form of one completed run: the payload both
@@ -425,7 +435,7 @@ func (e *sweepEnv) runCell(ctx context.Context, cell cellRef, p Params) (Outcome
 		}
 	}
 
-	out, err := e.execute(ctx, cell.spec, p)
+	out, err := e.execute(ctx, cell, p)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -456,16 +466,16 @@ func (e *sweepEnv) done() {
 // instrumented path drives a session tick by tick, so the two are the same
 // simulation advanced in different strides — deterministically identical
 // when no predicate cuts the run short.
-func (e *sweepEnv) execute(ctx context.Context, spec scenario.Spec, p Params) (Outcome, error) {
+func (e *sweepEnv) execute(ctx context.Context, cell cellRef, p Params) (Outcome, error) {
 	if e.opts.SampleEvery <= 0 && e.opts.EarlyStop == nil {
-		rep, err := scenario.Run(ctx, spec, p.Seed, p.Duration)
+		rep, err := cell.batch.Run(ctx, p.Seed, p.Duration)
 		if err != nil {
 			return Outcome{}, err
 		}
 		return Outcome{Metrics: SweepMetrics(rep)}, nil
 	}
 
-	sess, _, err := scenario.Build(spec, p.Seed, p.Duration)
+	sess, _, err := cell.batch.Build(p.Seed, p.Duration)
 	if err != nil {
 		return Outcome{}, err
 	}

@@ -287,13 +287,18 @@ func (d *DeauthFloodDetector) Process(ev Event) []Alert {
 	if ev.Kind != EventDeauth {
 		return nil
 	}
-	times := append(d.seen[ev.Source], ev.At) //worksim:allow amortized per-source window buffer: the slice is stored back two lines down, so growth is the scratch pattern across calls
-	// Trim events outside the window.
+	times := append(d.seen[ev.Source], ev.At) //worksim:allow amortized per-source window buffer: the slice is stored back below, so growth is the scratch pattern across calls
+	// Trim events outside the window by copying down in place: re-slicing
+	// forward (times = times[cut:]) would walk the stored slice away from its
+	// backing array's start and force a reallocation every window's worth of
+	// events, forever.
 	cut := 0
 	for cut < len(times) && ev.At-times[cut] > d.window {
 		cut++
 	}
-	times = times[cut:]
+	if cut > 0 {
+		times = times[:copy(times, times[cut:])]
+	}
 	d.seen[ev.Source] = times
 	if len(times) < d.threshold {
 		return nil

@@ -84,7 +84,15 @@ type Certificate struct {
 //
 //worksim:hotpath
 func (c Certificate) tbs() []byte {
-	buf := make([]byte, 0, 128) //worksim:allow single pre-sized buffer per encoding; the appends below reuse it via the scratch pattern
+	return c.appendTBS(make([]byte, 0, 128)) //worksim:allow single pre-sized buffer per encoding; reuse appendTBS directly to amortise it away
+}
+
+// appendTBS appends the to-be-signed encoding to dst and returns the grown
+// slice, so callers with a scratch buffer encode without allocating.
+//
+//worksim:hotpath
+func (c Certificate) appendTBS(dst []byte) []byte {
+	buf := dst
 	var u64 [8]byte
 	binary.BigEndian.PutUint64(u64[:], c.Serial)
 	buf = append(buf, u64[:]...)
@@ -222,6 +230,12 @@ type Verifier struct {
 	crl    map[uint64]struct{}
 	// AllowedRoles, when non-empty, restricts which roles verify successfully.
 	AllowedRoles map[Role]struct{}
+
+	// tbsScratch is the reusable to-be-signed encoding buffer for Verify.
+	// Verifiers are not safe for concurrent Verify calls (they never were:
+	// UpdateCRL already races with Verify); each handshake runner owns or
+	// serialises its verifier.
+	tbsScratch []byte
 }
 
 // NewVerifier builds a verifier for the given trust anchor. crl may be nil.
@@ -241,7 +255,8 @@ func (v *Verifier) Verify(cert Certificate, now time.Duration) error {
 	if cert.Issuer != v.anchor.Subject {
 		return fmt.Errorf("verify %q: issuer %q: %w", cert.Subject, cert.Issuer, ErrWrongIssuer) //worksim:allow cold rejection path, runs only for untrusted peers
 	}
-	if !ed25519.Verify(v.anchor.PublicKey, cert.tbs(), cert.Signature) {
+	v.tbsScratch = cert.appendTBS(v.tbsScratch[:0])
+	if !ed25519.Verify(v.anchor.PublicKey, v.tbsScratch, cert.Signature) {
 		return fmt.Errorf("verify %q: %w", cert.Subject, ErrBadSignature) //worksim:allow cold rejection path, runs only for forged certificates
 	}
 	if now < cert.NotBefore {

@@ -93,24 +93,43 @@ var alertClassMap = map[string]string{
 // feasible by demonstration); stale observations fall back to the treated
 // baseline.
 func (a *ContinuousAssessor) Current(now time.Duration) []AssessedRisk {
-	out := make([]AssessedRisk, len(a.baseline))
-	copy(out, a.baseline)
-	for i := range out {
-		seen, ok := a.lastSeen[out[i].Scenario.ID]
+	return a.CurrentInto(nil, now)
+}
+
+// CurrentInto is Current with a caller-supplied register buffer: the live
+// register is appended into dst[:0] and the (possibly grown) slice returned,
+// so a 1Hz caller reusing its previous return value recomputes the register
+// without allocating. The ordering is identical to Current's — risk value
+// descending, scenario ID ascending on ties — and since scenario IDs are
+// unique the order is total, so the sort algorithm cannot influence it.
+//
+//worksim:hotpath
+func (a *ContinuousAssessor) CurrentInto(dst []AssessedRisk, now time.Duration) []AssessedRisk {
+	dst = append(dst[:0], a.baseline...)
+	for i := range dst {
+		seen, ok := a.lastSeen[dst[i].Scenario.ID]
 		if !ok || now-seen > a.DecayAfter {
 			continue
 		}
-		out[i].Feasibility = FeasibilityHigh
-		out[i].RiskValue = RiskValue(out[i].Damage.Impact.Overall(), FeasibilityHigh)
-		out[i].Treatment = RecommendTreatment(out[i].RiskValue)
+		dst[i].Feasibility = FeasibilityHigh
+		dst[i].RiskValue = RiskValue(dst[i].Damage.Impact.Overall(), FeasibilityHigh)
+		dst[i].Treatment = RecommendTreatment(dst[i].RiskValue)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].RiskValue != out[j].RiskValue {
-			return out[i].RiskValue > out[j].RiskValue
+	// Insertion sort: the register is small (a dozen scenarios) and
+	// sort.Slice's reflect-based swapper allocates per call.
+	for i := 1; i < len(dst); i++ {
+		for j := i; j > 0 && assessedLess(&dst[j], &dst[j-1]); j-- {
+			dst[j], dst[j-1] = dst[j-1], dst[j]
 		}
-		return out[i].Scenario.ID < out[j].Scenario.ID
-	})
-	return out
+	}
+	return dst
+}
+
+func assessedLess(a, b *AssessedRisk) bool {
+	if a.RiskValue != b.RiskValue {
+		return a.RiskValue > b.RiskValue
+	}
+	return a.Scenario.ID < b.Scenario.ID
 }
 
 // Escalated returns the scenario IDs currently escalated above their treated

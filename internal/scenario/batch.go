@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/worksite"
+)
+
+// batchTemplateSeed roots the shared bundle's key material. Any seed works:
+// key bytes never reach simulation-observable output (the worksim
+// OpenBatch-vs-Open differential test locks this), so per-seed sessions built
+// from the bundle stay byte-identical to independently built ones.
+const batchTemplateSeed int64 = 0
+
+// Batch compiles one spec into shareable commissioned state — validated
+// spec, security bundle (CA, identities, established channels) — and builds
+// arbitrarily many cheap per-seed sessions from it. This is how a seed sweep
+// stops paying for keygen and four handshakes per seed.
+//
+// A Batch is immutable after NewBatch and safe for concurrent Build/Run
+// calls from pool workers.
+type Batch struct {
+	spec   Spec
+	shared *worksite.SharedSecurity
+}
+
+// NewBatch validates the spec and commissions its shared security state
+// once.
+func NewBatch(spec Spec) (*Batch, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	shared, err := worksite.CommissionSecurity(spec.Config(batchTemplateSeed))
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: commission shared security: %w", spec.Name, err)
+	}
+	return &Batch{spec: spec, shared: shared}, nil
+}
+
+// Spec returns the batch's compiled spec.
+func (b *Batch) Spec() Spec { return b.spec }
+
+// Build compiles one per-seed session over the shared commissioned state,
+// with the same contract as the package-level Build.
+func (b *Batch) Build(seed int64, d time.Duration) (*worksite.Session, *attack.Campaign, error) {
+	return buildShared(b.spec, b.shared, seed, d)
+}
+
+// Run builds one per-seed session and executes it for d of simulated time,
+// with the same contract as the package-level Run.
+func (b *Batch) Run(ctx context.Context, seed int64, d time.Duration) (worksite.Report, error) {
+	sess, _, err := b.Build(seed, d)
+	if err != nil {
+		return worksite.Report{}, err
+	}
+	rep, err := sess.Run(ctx, d)
+	if err != nil {
+		return worksite.Report{}, fmt.Errorf("scenario %q: %w", b.spec.Name, err)
+	}
+	return rep, nil
+}

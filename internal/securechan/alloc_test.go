@@ -1,0 +1,46 @@
+package securechan
+
+import (
+	"testing"
+)
+
+// TestSealOpenZeroAllocs locks the pooled record layer at zero heap
+// allocations per steady-state Seal and per steady-state Open, mirroring the
+// worksite tick-loop lock: a regression fails `go test` instead of waiting
+// for someone to read the securechan-seal/open benchmarks.
+func TestSealOpenZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are meaningless under -race")
+	}
+	p := handshakePair(t, Options{})
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	// Warm both pooled record buffers to steady-state capacity.
+	rec, err := p.init.Seal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.resp.Open(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	// AllocsPerRun calls the function once extra for warm-up; every call
+	// seals one record, and the paired receiver opens it inside the same
+	// measured call so both directions are locked together. The record is
+	// consumed before the next Seal overwrites the pooled buffer.
+	avg := testing.AllocsPerRun(100, func() {
+		rec, err := p.init.Seal(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.resp.Open(rec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Seal+Open allocates: %v allocs/op, want 0", avg)
+	}
+}

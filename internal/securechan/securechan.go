@@ -52,6 +52,12 @@ type Options struct {
 	// Now returns the current virtual time for certificate validation; nil
 	// means time zero.
 	Now func() time.Duration
+	// Unpooled disables the record-buffer and cipher reuse of the steady
+	// state: every Seal/Open rebuilds the AEAD from the traffic key and
+	// returns a freshly allocated record/plaintext. It exists for the
+	// differential tests that prove the pooled fast path produces the exact
+	// bytes of the allocation-per-record reference implementation.
+	Unpooled bool
 }
 
 // Stats counts record-layer events.
@@ -90,6 +96,15 @@ type Channel struct {
 	txSeq, rxSeq     uint64
 	rxEpoch, txEpoch uint64
 	rekeyEvery       uint64
+
+	// Cached record-layer state: the AEADs for the current tx/rx key epochs
+	// and the pooled buffers the steady state reuses record over record.
+	// Traffic keys are never mutated in place (ratchet replaces the slice),
+	// so the cached cipher is valid exactly until its epoch advances.
+	txAEAD, rxAEAD cipher.AEAD
+	sealBuf        []byte   // previous sealed record; overwritten by the next Seal
+	openBuf        []byte   // previous opened plaintext; overwritten by the next Open
+	nonceBuf       [12]byte // per-record GCM nonce scratch
 
 	stats Stats
 }
@@ -328,10 +343,56 @@ func (c *Channel) deriveKeys(peerEph, initNonce, respNonce []byte) error {
 	} else {
 		c.txKey, c.rxKey = r2i, i2r
 	}
+	if !c.opts.Unpooled {
+		var err error
+		if c.txAEAD, err = newAEAD(c.txKey); err != nil {
+			return err
+		}
+		if c.rxAEAD, err = newAEAD(c.rxKey); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
+// Fork clones an established channel into an independent endpoint with fresh
+// sequence numbers, statistics and record buffers. The immutable key material
+// and cached ciphers are shared: traffic keys are only ever replaced (the
+// ratchet derives a new slice), never mutated, and the AES-GCM AEAD is
+// stateless, so concurrent forks cannot interfere. Fork is how batched
+// executions reuse one commissioned handshake across many sessions — a forked
+// endpoint behaves byte-identically to the endpoint it was forked from at the
+// moment the handshake completed.
+func (c *Channel) Fork() (*Channel, error) {
+	if c.st != stateEstablished {
+		return nil, ErrNotEstablished
+	}
+	if c.txSeq != 0 || c.rxSeq != 0 {
+		return nil, fmt.Errorf("%w: fork after traffic (txSeq=%d rxSeq=%d)", ErrHandshake, c.txSeq, c.rxSeq)
+	}
+	fork := &Channel{
+		ident:      c.ident,
+		verifier:   c.verifier,
+		initiator:  c.initiator,
+		opts:       Options{RekeyInterval: c.rekeyEvery, Unpooled: c.opts.Unpooled},
+		st:         stateEstablished,
+		peerCert:   c.peerCert,
+		txKey:      c.txKey,
+		rxKey:      c.rxKey,
+		rekeyEvery: c.rekeyEvery,
+		txAEAD:     c.txAEAD,
+		rxAEAD:     c.rxAEAD,
+	}
+	return fork, nil
+}
+
 // Seal encrypts plaintext into a record: [8-byte seq | GCM ciphertext].
+//
+// The returned slice aliases the channel's pooled record buffer and is valid
+// until the next Seal on this channel; callers that retain records across
+// seals must copy (the simulator's network adapter copies the payload into
+// its own frame storage before transmitting). Under Options.Unpooled every
+// record is a fresh allocation instead.
 //
 //worksim:hotpath
 func (c *Channel) Seal(plaintext []byte) ([]byte, error) {
@@ -341,22 +402,45 @@ func (c *Channel) Seal(plaintext []byte) ([]byte, error) {
 	seq := c.txSeq
 	c.txSeq++
 	if epoch := seq / c.rekeyEvery; epoch > c.txEpoch {
-		for c.txEpoch < epoch {
+		for c.txEpoch < epoch { // cold rekey loop: runs once per RekeyInterval records
 			c.txKey = ratchet(c.txKey)
 			c.txEpoch++
 			c.stats.Rekeys++
 		}
+		aead, err := newAEAD(c.txKey)
+		if err != nil {
+			return nil, err
+		}
+		c.txAEAD = aead
 	}
+	if c.opts.Unpooled {
+		return c.sealUnpooled(seq, plaintext)
+	}
+	buf := c.sealBuf[:0]
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], seq)
+	buf = append(buf, hdr[:]...)
+	binary.BigEndian.PutUint64(c.nonceBuf[4:], seq)
+	record := c.txAEAD.Seal(buf, c.nonceBuf[:], plaintext, buf[:8])
+	c.sealBuf = record
+	c.stats.RecordsSealed++
+	return record, nil
+}
+
+// sealUnpooled is the allocation-per-record reference path: rebuild the
+// cipher from the traffic key, derive a fresh nonce and return a fresh
+// record. The pooled fast path above must produce exactly these bytes —
+// FuzzSealOpen holds the two together.
+func (c *Channel) sealUnpooled(seq uint64, plaintext []byte) ([]byte, error) {
 	aead, err := newAEAD(c.txKey)
 	if err != nil {
 		return nil, err
 	}
 	var hdr [8]byte
 	binary.BigEndian.PutUint64(hdr[:], seq)
-	nonce := recordNonce(seq)
-	ct := aead.Seal(nil, nonce, plaintext, hdr[:])
+	ct := aead.Seal(nil, recordNonce(seq), plaintext, hdr[:])
 	c.stats.RecordsSealed++
-	return append(hdr[:], ct...), nil //worksim:allow the record (header || ciphertext) is a fresh slice by API contract; budgeted in lint/escape_budget.json
+	return append(hdr[:], ct...), nil
 }
 
 // maxEpochSkip bounds how many key epochs a single record may advance the
@@ -369,6 +453,10 @@ const maxEpochSkip = 1 << 10
 // sequence numbers (drops allowed, replays rejected). Receiver key state is
 // only committed after the record authenticates, so forged records cannot
 // perturb the channel.
+//
+// The returned plaintext aliases the channel's pooled buffer and is valid
+// until the next Open on this channel; under Options.Unpooled it is a fresh
+// allocation instead.
 //
 //worksim:hotpath
 func (c *Channel) Open(record []byte) ([]byte, error) {
@@ -393,18 +481,35 @@ func (c *Channel) Open(record []byte) ([]byte, error) {
 		c.stats.DecryptFailures++
 		return nil, fmt.Errorf("%w: implausible epoch skip %d", ErrDecrypt, epoch-c.rxEpoch) //worksim:allow cold rejection path, runs only on forged records
 	}
-	key := c.rxKey
-	for e := c.rxEpoch; e < epoch; e++ {
-		key = ratchet(key)
+	key, aead := c.rxKey, c.rxAEAD
+	if epoch > c.rxEpoch || aead == nil {
+		// Epoch advance (or unpooled mode): derive the candidate key and
+		// cipher transiently; receiver state commits only after the record
+		// authenticates, so forged records cannot perturb the channel.
+		for e := c.rxEpoch; e < epoch; e++ { // cold rekey loop: runs once per RekeyInterval records
+			key = ratchet(key)
+		}
+		var err error
+		aead, err = newAEAD(key)
+		if err != nil {
+			return nil, err
+		}
 	}
-	aead, err := newAEAD(key)
-	if err != nil {
-		return nil, err
+	var pt []byte
+	var err error
+	if c.opts.Unpooled {
+		pt, err = aead.Open(nil, recordNonce(seq), record[8:], record[:8])
+	} else {
+		binary.BigEndian.PutUint64(c.nonceBuf[4:], seq)
+		pt, err = aead.Open(c.openBuf[:0], c.nonceBuf[:], record[8:], record[:8])
 	}
-	pt, err := aead.Open(nil, recordNonce(seq), record[8:], record[:8])
 	if err != nil {
 		c.stats.DecryptFailures++
 		return nil, fmt.Errorf("%w: %v", ErrDecrypt, err) //worksim:allow cold rejection path, runs only on tampered records
+	}
+	if !c.opts.Unpooled {
+		c.openBuf = pt
+		c.rxAEAD = aead
 	}
 	c.rxKey, c.rxEpoch = key, epoch
 	c.rxSeq = seq + 1
@@ -412,9 +517,11 @@ func (c *Channel) Open(record []byte) ([]byte, error) {
 	return pt, nil
 }
 
-// newAEAD builds the per-record cipher. Called once per Seal/Open; the AEAD
-// construction is the dominant cost of the secured record path and its heap
-// behavior is pinned by the escape budget.
+// newAEAD builds the record cipher for a traffic-key epoch. The steady state
+// reuses the cached per-epoch AEAD (txAEAD/rxAEAD), so this runs only at key
+// derivation and on epoch ratchets — the construction used to dominate the
+// secured record path, and its heap behavior stays pinned by the escape
+// budget so it cannot creep back onto the per-record path unnoticed.
 //
 //worksim:hotpath
 func newAEAD(key []byte) (cipher.AEAD, error) {

@@ -131,7 +131,8 @@ func TestDropsToleratedReplaysNot(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Seal: %v", err)
 		}
-		recs = append(recs, rec)
+		// Seal's result aliases the pooled record buffer; copy to retain.
+		recs = append(recs, append([]byte(nil), rec...))
 	}
 	// Deliver 0, skip 1-2 (lost), deliver 3; then replay 1 (stale).
 	if _, err := p.resp.Open(recs[0]); err != nil {
@@ -271,7 +272,8 @@ func TestRekeyAcrossDroppedBoundary(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Seal: %v", err)
 		}
-		recs = append(recs, rec)
+		// Seal's result aliases the pooled record buffer; copy to retain.
+		recs = append(recs, append([]byte(nil), rec...))
 	}
 	// Drop everything up to record 9 (two epoch boundaries crossed silently).
 	got, err := p.resp.Open(recs[9])

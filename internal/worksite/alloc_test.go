@@ -4,19 +4,22 @@ import (
 	"testing"
 )
 
-// TestTickLoopZeroAllocs locks the hot path at zero heap allocations per
-// steady-state control tick, so an allocation regression fails `go test`
+// assertZeroAllocTicks locks the tick loop for cfg at zero heap allocations
+// per steady-state control tick, so an allocation regression fails `go test`
 // rather than waiting for someone to read a benchmark.
 //
 // "Steady state" excludes ticks with discrete transitions: mission phase
-// changes replan the route (A* allocates its search state) and safety/mode
-// transitions append to the operational timeline. Those are event-driven,
-// bounded per run, and deliberately out of scope — the invariant is that the
-// per-tick work (worker movement, drone orbit + detection downlink over the
-// radio, sensing, fusion, protective fields, navigation, scoring, event
-// fan-out) allocates nothing. The test therefore scouts the deterministic
-// run for a window of transition-free ticks and measures there.
-func TestTickLoopZeroAllocs(t *testing.T) {
+// changes replan the route (A* allocates its search state), safety/mode
+// transitions append to the operational timeline, and alert transitions
+// build their detail strings. Those are event-driven, bounded per run, and
+// deliberately out of scope — the invariant is that the per-tick work
+// (worker movement, drone orbit + detection downlink over the radio, sensing,
+// fusion, protective fields, navigation, scoring, event fan-out, and under
+// the secured profile the record layer, IDS suite and live risk register)
+// allocates nothing. The helper therefore scouts the deterministic run for a
+// window of transition-free ticks and measures there.
+func assertZeroAllocTicks(t *testing.T, cfg Config) {
+	t.Helper()
 	if raceEnabled {
 		t.Skip("race-detector instrumentation allocates; counts are meaningless under -race")
 	}
@@ -24,7 +27,6 @@ func TestTickLoopZeroAllocs(t *testing.T) {
 		warmTicks    = 240 // two simulated minutes: buffers reach high water
 		measureTicks = 50
 	)
-	cfg := DefaultConfig(42) // the E1 baseline: unsecured, drone on
 
 	// Scout pass: the run is deterministic, so a first session tells us
 	// which ticks carry transitions. A tick is "quiet" when nothing about
@@ -91,4 +93,19 @@ func TestTickLoopZeroAllocs(t *testing.T) {
 		t.Fatalf("steady-state control tick allocates: %v allocs/op (ticks %d..%d), want 0",
 			avg, start, start+measureTicks)
 	}
+}
+
+// TestTickLoopZeroAllocs locks the unsecured E1 baseline tick at zero heap
+// allocations per steady-state tick.
+func TestTickLoopZeroAllocs(t *testing.T) {
+	assertZeroAllocTicks(t, DefaultConfig(42)) // the E1 baseline: unsecured, drone on
+}
+
+// TestSecuredTickZeroAllocs locks the full secured profile — record-layer
+// crypto on every message, the IDS detector suite on every packet, the 1Hz
+// live risk register — at the same zero-allocation bar as the baseline.
+func TestSecuredTickZeroAllocs(t *testing.T) {
+	cfg := DefaultConfig(42)
+	cfg.Profile = Secured()
+	assertZeroAllocTicks(t, cfg)
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/geo"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/pki"
 	"repro/internal/radio"
 	"repro/internal/risk"
+	"repro/internal/rng"
 	"repro/internal/securechan"
 	"repro/internal/sensors"
 )
@@ -80,6 +82,15 @@ func (s *Site) commissionNetwork() error {
 		s.adapters[sp.id] = ad
 	}
 
+	s.linkNames = make(map[chanKey]string, len(specs)*(len(specs)-1)/2)
+	for _, a := range specs {
+		for _, b := range specs {
+			if a.id < b.id {
+				s.linkNames[chanKey{a.id, b.id}] = string(a.id) + "<->" + string(b.id)
+			}
+		}
+	}
+
 	if s.cfg.Profile.IDSEnabled {
 		s.commissionIDS()
 	}
@@ -99,12 +110,58 @@ func (s *Site) staticPos(p geo.Vec) func() geo.Vec {
 // commissionPKI stands up the site CA and establishes pairwise secure
 // channels. Pairing happens at commissioning over a trusted link (the depot),
 // mirroring real fleet onboarding; subsequent records travel over the air.
+// Under a shared bundle (batched sessions) the expensive half — keygen,
+// issuance, handshakes — happened once in CommissionSecurity, and this
+// session only forks the established channels.
 func (s *Site) commissionPKI() error {
-	ca, err := pki.NewCA("agrarsense-site-ca", s.rand.Derive("pki"))
-	if err != nil {
-		return fmt.Errorf("worksite: %w", err)
+	if s.shared != nil && s.shared.bundle != nil {
+		s.ca = s.shared.bundle.ca
+		// Sorted keys: should two forks ever fail, the reported error must
+		// not depend on map iteration order.
+		keys := make([]chanKey, 0, len(s.shared.bundle.channels))
+		for k := range s.shared.bundle.channels {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].local != keys[j].local {
+				return keys[i].local < keys[j].local
+			}
+			return keys[i].peer < keys[j].peer
+		})
+		for _, k := range keys {
+			fork, err := s.shared.bundle.channels[k].Fork()
+			if err != nil {
+				return fmt.Errorf("worksite: fork channel %s->%s: %w", k.local, k.peer, err)
+			}
+			s.channels[k] = fork
+		}
+		return nil
 	}
-	s.ca = ca
+	b, err := buildSecurity(s.cfg.DroneEnabled, s.rand, s.sched.Now)
+	if err != nil {
+		return err
+	}
+	s.ca = b.ca
+	s.channels = b.channels
+	return nil
+}
+
+// securityBundle is the output of security commissioning: the site CA and
+// the established pairwise channels, keyed from each endpoint's side.
+type securityBundle struct {
+	ca       *pki.CA
+	channels map[chanKey]*securechan.Channel
+}
+
+// buildSecurity is the seed-threaded security commissioning: CA keygen,
+// identity issuance, and the pairwise handshakes, drawing from r's "pki" and
+// "handshakes" streams. Both the per-session path and the shared batch
+// template go through here, so the two can never drift.
+func buildSecurity(droneEnabled bool, r *rng.Rand, now func() time.Duration) (*securityBundle, error) {
+	ca, err := pki.NewCA("agrarsense-site-ca", r.Derive("pki"))
+	if err != nil {
+		return nil, fmt.Errorf("worksite: %w", err)
+	}
 	validity := 30 * 24 * time.Hour
 
 	idents := make(map[radio.NodeID]pki.Identity)
@@ -117,12 +174,12 @@ func (s *Site) commissionPKI() error {
 		{NodeHarvester, pki.RoleMachine},
 		{NodeDrone, pki.RoleDrone},
 	} {
-		if spec.id == NodeDrone && !s.cfg.DroneEnabled {
+		if spec.id == NodeDrone && !droneEnabled {
 			continue
 		}
 		ident, err := ca.Issue(string(spec.id), spec.role, 0, validity)
 		if err != nil {
-			return fmt.Errorf("worksite: %w", err)
+			return nil, fmt.Errorf("worksite: %w", err)
 		}
 		idents[spec.id] = ident
 	}
@@ -132,29 +189,30 @@ func (s *Site) commissionPKI() error {
 		{NodeCoordinator, NodeForwarder},
 		{NodeCoordinator, NodeHarvester},
 	}
-	if s.cfg.DroneEnabled {
+	if droneEnabled {
 		pairs = append(pairs,
 			[2]radio.NodeID{NodeCoordinator, NodeDrone},
 			[2]radio.NodeID{NodeForwarder, NodeDrone},
 		)
 	}
-	hr := s.rand.Derive("handshakes")
+	b := &securityBundle{ca: ca, channels: make(map[chanKey]*securechan.Channel, 2*len(pairs))}
+	hr := r.Derive("handshakes")
 	for _, p := range pairs {
 		init := securechan.NewInitiator(idents[p[0]], verifier, securechan.Options{
 			Rand: hr.Derive(string(p[0]) + ">" + string(p[1])),
-			Now:  s.sched.Now,
+			Now:  now,
 		})
 		resp := securechan.NewResponder(idents[p[1]], verifier, securechan.Options{
 			Rand: hr.Derive(string(p[1]) + "<" + string(p[0])),
-			Now:  s.sched.Now,
+			Now:  now,
 		})
 		if err := runPairing(init, resp); err != nil {
-			return fmt.Errorf("worksite: pairing %s-%s: %w", p[0], p[1], err)
+			return nil, fmt.Errorf("worksite: pairing %s-%s: %w", p[0], p[1], err)
 		}
-		s.channels[chanKey{p[0], p[1]}] = init
-		s.channels[chanKey{p[1], p[0]}] = resp
+		b.channels[chanKey{p[0], p[1]}] = init
+		b.channels[chanKey{p[1], p[0]}] = resp
 	}
-	return nil
+	return b, nil
 }
 
 // runPairing executes the 3-message handshake over the trusted commissioning
@@ -210,7 +268,7 @@ func (s *Site) commissionIDS() {
 		s.engine.Ingest(ids.Event{
 			Kind:   ids.EventLinkSample,
 			At:     s.sched.Now(),
-			Source: linkName(p.From, to),
+			Source: s.linkName(p.From, to),
 			OK:     cause == radio.DropNone,
 			Value:  v,
 		})
@@ -258,11 +316,19 @@ func (s *Site) hopChannel(now time.Duration) {
 	}
 }
 
-func linkName(a, b radio.NodeID) string {
+// linkName returns the canonical IDS label for the a<->b link from the table
+// precomputed at commissioning, so per-packet ingest does not build a fresh
+// string. Pairs outside the table (none in practice) fall back to concat.
+//
+//worksim:hotpath
+func (s *Site) linkName(a, b radio.NodeID) string {
 	if a > b {
 		a, b = b, a
 	}
-	return string(a) + "<->" + string(b)
+	if name, ok := s.linkNames[chanKey{a, b}]; ok {
+		return name
+	}
+	return string(a) + "<->" + string(b) //worksim:allow fallback for pairs outside the precomputed table; commissioning registers every pair, so steady-state ingest never reaches it
 }
 
 func (s *Site) wireMessageHandlers() {
@@ -384,7 +450,7 @@ func (s *Site) handleAppPayload(local, from radio.NodeID, payload []byte) {
 			s.ingestIDS(ids.Event{
 				Kind:   kind,
 				At:     s.sched.Now(),
-				Source: linkName(local, from),
+				Source: s.linkName(local, from),
 				Detail: err.Error(),
 			})
 			return

@@ -153,7 +153,8 @@ func (s *Site) updateOperatingMode(now time.Duration) {
 	if s.assessor == nil {
 		return
 	}
-	mode := risk.RecommendMode(s.assessor.Current(now))
+	s.riskScratch = s.assessor.CurrentInto(s.riskScratch, now)
+	mode := risk.RecommendMode(s.riskScratch)
 	if mode == s.mode {
 		return
 	}

@@ -1,0 +1,74 @@
+package worksite
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// SharedSecurity is the seed-invariant half of security commissioning: the
+// site CA, the issued machine identities, and the pairwise channels already
+// taken through their handshakes. A batch builds it once; every per-seed
+// session then forks the established channels instead of re-running keygen,
+// issuance and four SIGMA handshakes.
+//
+// Sharing key material across seeds is sound because no simulation-observable
+// byte depends on it: record lengths are key-independent, replay and decrypt
+// rejections carry constant or sequence-derived detail, and packet-drop
+// decisions are position- and rng-driven. Skipping the per-session "pki" and
+// "handshakes" rng streams is equally invisible — rng.Derive children are
+// independent, so sibling streams never shift. The OpenBatch-vs-Open
+// differential test in the worksim facade locks both claims byte for byte.
+//
+// The bundle is immutable after CommissionSecurity returns and safe for
+// concurrent forking from pool workers.
+type SharedSecurity struct {
+	droneEnabled bool
+	secured      bool
+	bundle       *securityBundle
+}
+
+// CommissionSecurity builds the shareable security bundle for cfg. For a
+// profile without secure channels the bundle carries nothing and sessions
+// commission as usual. The handshakes run on the commissioning clock
+// (virtual time zero), exactly when every session would run its own.
+func CommissionSecurity(cfg Config) (*SharedSecurity, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sh := &SharedSecurity{droneEnabled: cfg.DroneEnabled, secured: cfg.Profile.SecureChannels}
+	if !sh.secured {
+		return sh, nil
+	}
+	b, err := buildSecurity(cfg.DroneEnabled, rng.New(cfg.Seed), func() time.Duration { return 0 })
+	if err != nil {
+		return nil, err
+	}
+	sh.bundle = b
+	return sh, nil
+}
+
+// NewShared commissions a worksite like New, adopting the shared security
+// bundle instead of re-running keygen and handshakes. A nil bundle is the
+// plain New path.
+func NewShared(cfg Config, sh *SharedSecurity) (*Site, error) {
+	if sh != nil {
+		if sh.droneEnabled != cfg.DroneEnabled {
+			return nil, fmt.Errorf("worksite: shared security was commissioned with droneEnabled=%v, config wants %v", sh.droneEnabled, cfg.DroneEnabled)
+		}
+		if cfg.Profile.SecureChannels && !sh.secured {
+			return nil, fmt.Errorf("worksite: config wants secure channels but the shared bundle was commissioned without them")
+		}
+	}
+	return newSite(cfg, sh)
+}
+
+// NewSessionShared is NewSession over a shared security bundle.
+func NewSessionShared(cfg Config, sh *SharedSecurity) (*Session, error) {
+	site, err := NewShared(cfg, sh)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{site: site}, nil
+}

@@ -215,6 +215,19 @@ type Site struct {
 	lastHop  time.Duration
 	hops     int
 
+	// riskScratch is the reusable live-register buffer for the 1Hz
+	// operating-mode recomputation (see risk.CurrentInto).
+	riskScratch []risk.AssessedRisk
+
+	// linkNames precomputes the IDS link labels for every commissioned node
+	// pair, so the promiscuous medium observer does not concatenate a fresh
+	// string per observed packet.
+	linkNames map[chanKey]string
+
+	// shared, when non-nil, is the batch's pre-commissioned security bundle;
+	// commissionPKI forks its established channels instead of handshaking.
+	shared *SharedSecurity
+
 	droneDets   []sensors.Detection
 	droneDetsAt time.Duration
 
@@ -291,7 +304,9 @@ func (p missionPhase) String() string {
 }
 
 // New builds and commissions a worksite from cfg.
-func New(cfg Config) (*Site, error) {
+func New(cfg Config) (*Site, error) { return newSite(cfg, nil) }
+
+func newSite(cfg Config, sh *SharedSecurity) (*Site, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -310,6 +325,7 @@ func New(cfg Config) (*Site, error) {
 		channels: make(map[chanKey]*securechan.Channel),
 		mission:  phaseToHarvest,
 		intern:   make(internTable),
+		shared:   sh,
 	}
 	s.sendEnc = json.NewEncoder(&s.sendBuf)
 	s.ticksPerSec = ticksPerSecond(cfg.TickPeriod)

@@ -70,6 +70,11 @@ func Catalog() []Benchmark {
 			Doc:  "32-seed baseline sweep (2 min/run) over the bounded worker pool",
 			Fn:   benchSweep32,
 		},
+		{
+			Name: "sweep-32seed-batched",
+			Doc:  "32 secured-baseline seeds (2 min/run) forked from one OpenBatch shared commission",
+			Fn:   benchSweep32Batched,
+		},
 	}
 	return append(macro, securedCatalog()...)
 }
@@ -149,6 +154,33 @@ func benchSweep32(b *testing.B) {
 		}
 		if len(res.Cells) != 1 || len(res.Cells[0].Result.PerSeed) != 32 {
 			b.Fatal("sweep shape drifted")
+		}
+	}
+}
+
+// benchSweep32Batched measures the batched fan-out under the full defence
+// stack: one shared commission (PKI keygen, issuance, handshakes) forked
+// into 32 per-seed secured sessions of 2 simulated minutes each.
+func benchSweep32Batched(b *testing.B) {
+	seeds := make([]int64, 32)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		batch, err := worksim.OpenBatch(worksim.Baseline(), seeds,
+			worksim.WithHorizon(2*time.Minute),
+			worksim.WithProfile(worksim.Secured()),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reports, err := batch.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) != 32 {
+			b.Fatalf("batch produced %d reports, want 32", len(reports))
 		}
 	}
 }

@@ -1,0 +1,67 @@
+package bench
+
+import "fmt"
+
+// gatedBenchmark is one entry of the secured-path CI gate: the benchmarks
+// whose regressions the paper's defence-overhead claims are most sensitive
+// to. zeroAlloc entries additionally must report 0 allocs/op — the alloc
+// locks (TestSecuredTickZeroAllocs and friends) enforce the same bound under
+// `go test`, but the gate re-checks it on the timed harness so a BENCH file
+// recording an allocating secured path can never be committed as the new
+// baseline.
+type gatedBenchmark struct {
+	name      string
+	zeroAlloc bool
+}
+
+// securedGate lists the gated benchmarks. Names are catalog identifiers
+// (bench.Catalog); renaming one breaks the gate loudly via the
+// missing-benchmark violation rather than silently ungating it.
+var securedGate = []gatedBenchmark{
+	{name: "tick-secured", zeroAlloc: true},
+	{name: "securechan-seal", zeroAlloc: true},
+	{name: "securechan-open", zeroAlloc: true},
+	{name: "e1-run-secured"},
+}
+
+// DefaultGateTolerance is the fractional ns/op regression the gate accepts
+// on gated benchmarks before failing — headroom for shared-runner noise, far
+// below any real secured-path regression.
+const DefaultGateTolerance = 0.10
+
+// Gate checks the secured-path acceptance rules of a fresh run against the
+// committed record: every gated benchmark must be present, zero-alloc
+// benchmarks must report 0 allocs/op, and ns/op must not regress by more
+// than tolerance relative to old. A benchmark absent from old (first run
+// after it was added) skips the delta check but keeps the absolute ones.
+// The returned violations are human-readable; empty means the gate passes.
+func Gate(old, new File, tolerance float64) []string {
+	byName := make(map[string]*Entry, len(new.Entries))
+	for i := range new.Entries {
+		byName[new.Entries[i].Name] = &new.Entries[i]
+	}
+	oldByName := make(map[string]*Entry, len(old.Entries))
+	for i := range old.Entries {
+		oldByName[old.Entries[i].Name] = &old.Entries[i]
+	}
+	var violations []string
+	for _, g := range securedGate {
+		e := byName[g.name]
+		if e == nil {
+			violations = append(violations, fmt.Sprintf("%s: gated benchmark missing from the run", g.name))
+			continue
+		}
+		if g.zeroAlloc && e.AllocsPerOp > 0 {
+			violations = append(violations, fmt.Sprintf("%s: %d allocs/op, must be allocation-free", g.name, e.AllocsPerOp))
+		}
+		o := oldByName[g.name]
+		if o == nil || o.NsPerOp <= 0 {
+			continue
+		}
+		if change := (e.NsPerOp - o.NsPerOp) / o.NsPerOp; change > tolerance {
+			violations = append(violations, fmt.Sprintf("%s: ns/op regressed %+.1f%% (%.0f -> %.0f), tolerance %.0f%%",
+				g.name, 100*change, o.NsPerOp, e.NsPerOp, 100*tolerance))
+		}
+	}
+	return violations
+}

@@ -23,6 +23,7 @@ const (
 // sessionConfig is the option-resolved state Open builds a session from.
 type sessionConfig struct {
 	seed      int64
+	seedSet   bool // WithSeed was given (OpenBatch rejects it)
 	horizon   time.Duration
 	profile   *SecurityProfile
 	sample    time.Duration
@@ -36,7 +37,7 @@ type Option func(*sessionConfig)
 // operational situation; the seed is deliberately a run parameter, so the
 // same Scenario fans out over seed ranges.
 func WithSeed(seed int64) Option {
-	return func(c *sessionConfig) { c.seed = seed }
+	return func(c *sessionConfig) { c.seed = seed; c.seedSet = true }
 }
 
 // WithHorizon bounds the session at d of simulated time. The horizon also
